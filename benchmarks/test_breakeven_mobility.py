@@ -1,0 +1,58 @@
+"""Section 5.1.3 — the mobility break-even point.
+
+The paper computes that at least 239.18 packets must be successfully
+transmitted between two mobility epochs for SPMS to save energy over SPIN.
+This benchmark measures the same quantity for our simulator: the energy of one
+distributed Bellman-Ford re-execution divided by the per-packet data-plane
+saving of SPMS over SPIN.
+"""
+
+import math
+
+from repro.analysis.breakeven import breakeven_packets
+from repro.experiments.config import MobilityConfig, SimulationConfig
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import all_to_all_scenario
+
+from conftest import emit, run_once
+
+
+def test_breakeven_mobility(benchmark, figure_scale):
+    config = SimulationConfig(
+        num_nodes=figure_scale.fixed_num_nodes,
+        packets_per_node=figure_scale.mobility_packets_per_node,
+        transmission_radius_m=20.0,
+        arrival_mean_interarrival_ms=figure_scale.arrival_mean_interarrival_ms,
+        seed=figure_scale.seed,
+    )
+
+    def measure():
+        static_spms = run_scenario(all_to_all_scenario("spms", config))
+        static_spin = run_scenario(all_to_all_scenario("spin", config))
+        mobile_spms = run_scenario(
+            all_to_all_scenario("spms", config, mobility=MobilityConfig(num_epochs=1))
+        )
+        rebuilds = max(1, mobile_spms.routing_rebuilds - 1)
+        rebuild_energy = mobile_spms.routing_energy_uj / rebuilds
+        return {
+            "rebuild_energy_uj": rebuild_energy,
+            "spin_per_packet_uj": static_spin.energy_per_item_uj,
+            "spms_per_packet_uj": static_spms.energy_per_item_uj,
+            "breakeven_packets": breakeven_packets(
+                rebuild_energy,
+                static_spin.energy_per_item_uj,
+                static_spms.energy_per_item_uj,
+            ),
+        }
+
+    result = run_once(benchmark, measure)
+
+    emit("\n\n=== Mobility break-even (paper: 239.18 packets) ===")
+    for key, value in result.items():
+        emit(f"  {key:<22} {value:10.2f}")
+
+    # The break-even must be finite (SPMS does save energy per packet) and of
+    # a magnitude that a realistic inter-epoch traffic volume can amortise.
+    assert math.isfinite(result["breakeven_packets"])
+    assert 1.0 < result["breakeven_packets"] < 10_000.0
+    assert result["spms_per_packet_uj"] < result["spin_per_packet_uj"]

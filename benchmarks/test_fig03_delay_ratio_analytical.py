@@ -1,0 +1,30 @@
+"""Figure 3 — analytical SPIN/SPMS latency ratio vs transmission radius.
+
+Paper shape: the ratio starts near 1 for small radii and grows towards ~2.8
+(the worked example gives 2.7865 at n1=45, ns=5).
+"""
+
+import pytest
+
+from repro.analysis.delay_model import AnalysisParameters, delay_ratio
+from repro.experiments.figures import figure3_delay_ratio
+
+from conftest import print_series, run_once
+
+
+def test_fig03_delay_ratio(benchmark):
+    series = run_once(benchmark, figure3_delay_ratio, tuple(range(2, 31, 2)))
+    print_series(
+        "Figure 3: DelaySPIN / DelaySPMS vs transmission radius (analytical)",
+        series,
+        "radius (m)",
+        "ratio",
+    )
+
+    ratios = [ratio for _, ratio in series]
+    # Shape: monotonically non-decreasing, SPMS never slower, bounded by 3.
+    assert all(b >= a - 1e-12 for a, b in zip(ratios, ratios[1:]))
+    assert all(1.0 <= ratio < 3.0 for ratio in ratios)
+    assert ratios[-1] > 2.0
+    # Worked example from the paper.
+    assert delay_ratio(AnalysisParameters()) == pytest.approx(2.7865, abs=1e-3)

@@ -1,0 +1,27 @@
+"""Figure 5 — analytical SPIN/SPMS energy ratio vs transmission radius.
+
+Paper shape: the ratio is 1 at one hop and grows steeply with the radius
+(SPMS does "substantially better in saving energy" as the zone widens).
+"""
+
+import pytest
+
+from repro.experiments.figures import figure5_energy_ratio
+
+from conftest import print_series, run_once
+
+
+def test_fig05_energy_ratio(benchmark):
+    series = run_once(benchmark, figure5_energy_ratio, tuple(range(1, 31)))
+    print_series(
+        "Figure 5: E_SPIN / E_SPMS vs transmission radius (analytical, alpha=3.5)",
+        series,
+        "radius (hops)",
+        "ratio",
+    )
+
+    ratios = [ratio for _, ratio in series]
+    assert ratios[0] == pytest.approx(1.0)
+    assert all(b >= a for a, b in zip(ratios, ratios[1:]))
+    # By a 30-hop radius SPMS wins by an order of magnitude.
+    assert ratios[-1] > 10.0

@@ -1,0 +1,53 @@
+"""Headline claims from the abstract and Section 5.
+
+* Static failure-free all-to-all: SPMS uses 26-43 % less energy (about 30 %
+  on average) and delivers data roughly an order of magnitude faster.
+* With mobility the energy saving drops to 5-21 %.
+* Cluster-based hierarchical traffic: SPMS uses 35-59 % less energy.
+
+This benchmark reuses the cached Figure 6/8/12/13 sweeps, evaluates every
+claim and prints a pass/fail table.  The direction of every claim must hold;
+absolute magnitudes are recorded for EXPERIMENTS.md.
+"""
+
+from repro.experiments.claims import evaluate_headline_claims, format_claims
+from repro.experiments.figures import (
+    figure6_energy_vs_nodes,
+    figure8_delay_vs_nodes,
+    figure12_energy_mobility,
+    figure13_energy_cluster,
+)
+
+from conftest import emit, run_once
+
+
+def test_headline_claims(benchmark, figure_scale):
+    def evaluate():
+        static_energy = figure6_energy_vs_nodes(figure_scale)
+        static_delay = figure8_delay_vs_nodes(figure_scale)
+        mobility_energy = figure12_energy_mobility(figure_scale)
+        cluster_energy = figure13_energy_cluster(figure_scale)
+        return evaluate_headline_claims(
+            static_energy, static_delay, mobility_energy, cluster_energy
+        )
+
+    checks = run_once(benchmark, evaluate)
+
+    emit("\n\n=== Headline claims (paper vs this reproduction) ===")
+    emit(format_claims(checks))
+
+    assert len(checks) == 4
+    for check in checks:
+        assert check.holds, f"claim does not hold: {check.claim} (measured {check.measured:.2f})"
+    by_claim = {check.claim: check.measured for check in checks}
+    # Static energy saving should be substantial (paper band: 26-43 %).
+    assert by_claim["static failure-free energy saving (all-to-all)"] > 20.0
+    # SPMS must be faster on average.
+    assert by_claim["static failure-free delay ratio SPIN/SPMS"] > 1.0
+    # Mobility saving is positive but smaller than the static saving.
+    assert (
+        by_claim["energy saving with mobility"]
+        < by_claim["static failure-free energy saving (all-to-all)"]
+    )
+    # Cluster saving is the largest of the energy claims (paper: 35-59 %).
+    assert by_claim["cluster-based hierarchical energy saving"] > 25.0

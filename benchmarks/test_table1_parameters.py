@@ -1,0 +1,27 @@
+"""Table 1 — simulation parameters.
+
+Regenerates the parameter table the whole evaluation is driven by and checks
+it is exactly what the experiment configuration uses.
+"""
+
+from repro.experiments.config import SimulationConfig, TABLE1_PARAMETERS
+from repro.experiments.figures import table1_parameters
+
+from conftest import emit, run_once
+
+
+def test_table1_parameters(benchmark):
+    params = run_once(benchmark, table1_parameters)
+
+    emit("\n\n=== Table 1: simulation parameters ===")
+    for key, value in params.items():
+        emit(f"  {key:<42} {value}")
+
+    assert params == TABLE1_PARAMETERS
+    config = SimulationConfig()
+    assert config.adv_size_bytes == params["req_or_adv_size_bytes"]
+    assert config.data_size_bytes == params["req_or_adv_size_bytes"] * params["data_to_req_size_ratio"]
+    assert config.t_tx_per_byte_ms == params["transmission_time_ms_per_byte"]
+    assert config.t_proc_ms == params["processing_time_ms"]
+    assert config.slot_time_ms == params["slot_time_ms"]
+    assert config.num_slots == params["num_slots"]

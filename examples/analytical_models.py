@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""The Section 4 closed-form models: Figures 3 and 5 and the worked example.
+
+Prints the paper's analytical delay ratio (2.7865 with the sample constants),
+the Figure 3 latency-ratio-vs-radius series and the Figure 5
+energy-ratio-vs-radius series as text tables.
+
+Usage::
+
+    python examples/analytical_models.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.delay_model import (
+    AnalysisParameters,
+    delay_ratio,
+    delay_ratio_series,
+    spin_delay_failure_free,
+    spms_delay_failure_free,
+)
+from repro.analysis.energy_model import energy_ratio_series
+
+
+def main() -> None:
+    params = AnalysisParameters()
+    print("Section 4.1 worked example (Ttx=0.05, Tproc=0.02, A:D=1:30, G=0.01, n1=45, ns=5)")
+    print(f"  Delay_SPIN  = {spin_delay_failure_free(params):7.2f} ms")
+    print(f"  Delay_SPMS  = {spms_delay_failure_free(params):7.2f} ms")
+    print(f"  Ratio       = {delay_ratio(params):7.4f}   (paper: 2.7865)\n")
+
+    print("Figure 3 — SPIN/SPMS latency ratio vs transmission radius (analytical)")
+    print(f"{'radius (m)':>12} {'ratio':>8}")
+    for radius, ratio in delay_ratio_series(range(2, 31, 2)):
+        print(f"{radius:>12.0f} {ratio:>8.3f}")
+
+    print("\nFigure 5 — SPIN/SPMS energy ratio vs transmission radius (analytical, alpha=3.5)")
+    print(f"{'radius':>8} {'ratio':>10}")
+    for radius, ratio in energy_ratio_series(range(1, 31)):
+        print(f"{radius:>8d} {ratio:>10.2f}")
+
+
+if __name__ == "__main__":
+    main()

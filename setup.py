@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment has setuptools but no ``wheel`` package, so PEP 660
+editable installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to the
+classic ``setup.py develop`` path.  Configuration lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

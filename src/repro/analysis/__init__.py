@@ -1,0 +1,53 @@
+"""Closed-form models from Section 4 of the paper.
+
+* :mod:`repro.analysis.delay_model` — SPIN and SPMS end-to-end delay for the
+  one-relay scenario of Figure 2 (equations 1-3), the worked ratio of ~2.79,
+  and the Figure 3 ratio-vs-radius series.
+* :mod:`repro.analysis.energy_model` — the Section 4.2 energy comparison with
+  the ``d**3.5`` path-loss law and the Figure 5 ratio-vs-radius series.
+* :mod:`repro.analysis.breakeven` — the Section 5.1.3 break-even computation:
+  how many packets must flow between mobility epochs for SPMS's routing
+  overhead to pay for itself.
+"""
+
+from repro.analysis.breakeven import breakeven_packets
+from repro.analysis.delay_model import (
+    AnalysisParameters,
+    delay_ratio,
+    delay_ratio_series,
+    spin_delay_failure_free,
+    spms_delay_failure_free,
+    spms_delay_k_relays,
+    spms_delay_no_relay_request,
+    spms_delay_relay_fails_after_adv,
+    spms_delay_relay_fails_before_adv,
+    spms_round_time,
+    recommended_tout_adv,
+)
+from repro.analysis.energy_model import (
+    EnergyAnalysisParameters,
+    energy_ratio,
+    energy_ratio_series,
+    spin_energy_per_bit_units,
+    spms_energy_per_bit_units,
+)
+
+__all__ = [
+    "AnalysisParameters",
+    "EnergyAnalysisParameters",
+    "breakeven_packets",
+    "delay_ratio",
+    "delay_ratio_series",
+    "energy_ratio",
+    "energy_ratio_series",
+    "recommended_tout_adv",
+    "spin_delay_failure_free",
+    "spin_energy_per_bit_units",
+    "spms_delay_failure_free",
+    "spms_delay_k_relays",
+    "spms_delay_no_relay_request",
+    "spms_delay_relay_fails_after_adv",
+    "spms_delay_relay_fails_before_adv",
+    "spms_energy_per_bit_units",
+    "spms_round_time",
+]

@@ -1,0 +1,202 @@
+"""Section 4.1: closed-form delay expressions.
+
+Notation (matching the paper):
+
+* ``A``, ``R``, ``D`` — lengths of the ADV, REQ and DATA packets,
+* ``T_tx`` — transmission time per unit of data,
+* ``T_proc`` — per-packet processing delay at a receiving node,
+* ``T_csma = G * n**2`` — channel-access delay with ``n`` nodes in range,
+* ``n1`` — nodes reachable at the maximum power level (zone population),
+* ``n2``/``ns`` — nodes reachable at the lower / lowest power level,
+* ``TOutADV`` / ``TOutDAT`` — the protocol timeouts.
+
+The failure-free single-destination expressions are equations (1) and (2) of
+the paper; the worked example with ``Ttx=0.05, Tproc=0.02, A:D = 1:30,
+G = 0.01, n1 = 45, ns = 5`` gives ``Delay_SPIN : Delay_SPMS = 2.7865``, which
+the test-suite reproduces to four decimal places.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class AnalysisParameters:
+    """Inputs of the Section 4.1 delay analysis.
+
+    Defaults are the paper's worked-example values.
+    """
+
+    adv_size: float = 1.0
+    req_size: float = 1.0
+    data_size: float = 30.0
+    t_tx: float = 0.05
+    t_proc: float = 0.02
+    g: float = 0.01
+    n1: int = 45
+    ns: int = 5
+    tout_adv: float = 1.0
+    tout_dat: float = 2.5
+
+    def __post_init__(self) -> None:
+        if min(self.adv_size, self.req_size, self.data_size) <= 0:
+            raise ValueError("packet sizes must be positive")
+        if self.t_tx <= 0 or self.t_proc < 0 or self.g < 0:
+            raise ValueError("invalid timing constants")
+        if self.n1 < 1 or self.ns < 1:
+            raise ValueError("node counts must be at least 1")
+
+    @property
+    def payload_time(self) -> float:
+        """Transmission time of one ADV + REQ + DATA exchange."""
+        return (self.adv_size + self.req_size + self.data_size) * self.t_tx
+
+    def contention(self, nodes: int) -> float:
+        """``G * n**2`` channel-access delay."""
+        return self.g * nodes**2
+
+
+def spin_delay_failure_free(params: AnalysisParameters) -> float:
+    """Equation (1): SPIN delay for one destination, failure free.
+
+    Three channel accesses (ADV, REQ, DATA) all at the maximum power level
+    plus the payload transmission times and the processing of ADV and REQ.
+    """
+    return 3.0 * params.contention(params.n1) + params.payload_time + 2.0 * params.t_proc
+
+
+def spms_delay_failure_free(params: AnalysisParameters) -> float:
+    """Equation (2): SPMS delay when the destination is a next-hop neighbour.
+
+    The ADV still goes out at maximum power (contention over ``n1`` nodes) but
+    the REQ and DATA travel at the low power level (contention over ``ns``).
+    """
+    return (
+        params.contention(params.n1)
+        + 2.0 * params.contention(params.ns)
+        + params.payload_time
+        + 2.0 * params.t_proc
+    )
+
+
+def spms_round_time(params: AnalysisParameters) -> float:
+    """``T_round``: one hop of the data rippling through the zone (case a.a)."""
+    return spms_delay_failure_free(params)
+
+
+def recommended_tout_adv(params: AnalysisParameters) -> float:
+    """Lower bound on ``TOutADV`` so the timer does not fire before a relay
+    that did request the data has had time to obtain and advertise it."""
+    return (
+        2.0 * params.contention(params.ns)
+        + (params.req_size + params.data_size) * params.t_tx
+        + 2.0 * params.t_proc
+    )
+
+
+def spms_delay_two_hop_relay_requests(params: AnalysisParameters) -> float:
+    """Case a.a: the relay requests the data itself; two full rounds."""
+    return 2.0 * spms_round_time(params)
+
+
+def spms_delay_no_relay_request(params: AnalysisParameters) -> float:
+    """Case a.b: the relay does not request, the destination times out and
+    pulls the data through the relay over two hops."""
+    return (
+        params.contention(params.n1)
+        + 4.0 * params.contention(params.ns)
+        + (params.adv_size + 2.0 * params.req_size + 2.0 * params.data_size) * params.t_tx
+        + 4.0 * params.t_proc
+        + params.tout_adv
+    )
+
+
+def spms_delay_k_relays(params: AnalysisParameters, k: int, last_relay_requests: bool = True) -> float:
+    """Case a.c / equation (3): ``k`` relay nodes between source and destination.
+
+    Args:
+        params: Analysis constants.
+        k: Number of relay nodes (k >= 1).
+        last_relay_requests: When False, the worst case applies — the last
+            relay never requests and the destination pays ``TOutADV`` plus the
+            two-hop pull of case a.b.
+    """
+    if k < 1:
+        raise ValueError(f"need at least one relay, got {k}")
+    if last_relay_requests:
+        return (k + 1.0) * spms_round_time(params)
+    return (k - 1.0) * spms_round_time(params) + params.tout_adv + spms_delay_no_relay_request(params)
+
+
+def spms_delay_relay_fails_before_adv(params: AnalysisParameters) -> float:
+    """Case b.a: the relay fails before advertising.
+
+    The destination waits ``TOutADV``, requests over the (dead) shortest
+    route, waits ``TOutDAT`` and finally pulls directly from the PRONE at a
+    higher power level.
+    """
+    return (
+        params.contention(params.n1)
+        + params.contention(params.ns)
+        + 2.0 * params.contention(params.n1)
+        + params.payload_time
+        + params.tout_adv
+        + params.tout_dat
+        + 2.0 * params.t_proc
+    )
+
+
+def spms_delay_relay_fails_after_adv(params: AnalysisParameters) -> float:
+    """Case b.b: the relay fails after advertising.
+
+    The relay obtained the data (one full round) and advertised it at maximum
+    power; the destination requests from the relay, waits ``TOutDAT`` in vain
+    and then pulls directly from the SCONE.
+    """
+    return (
+        spms_round_time(params)
+        + params.contention(params.n1)
+        + params.adv_size * params.t_tx
+        + params.t_proc
+        + params.contention(params.ns)
+        + params.req_size * params.t_tx
+        + params.tout_dat
+        + params.contention(params.ns)
+        + (params.adv_size + params.data_size) * params.t_tx
+        + 2.0 * params.t_proc
+    )
+
+
+def delay_ratio(params: AnalysisParameters) -> float:
+    """``Delay_SPIN / Delay_SPMS`` for the failure-free single-hop scenario."""
+    return spin_delay_failure_free(params) / spms_delay_failure_free(params)
+
+
+def delay_ratio_series(
+    radii_m: Sequence[float],
+    density_per_m2: float = 0.01,
+    ns: int = 5,
+    base: AnalysisParameters = AnalysisParameters(),
+) -> List[Tuple[float, float]]:
+    """Figure 3: the delay ratio as the transmission radius varies.
+
+    The zone population grows with the covered area, ``n1 = density * pi * r**2``
+    (at least the low-power population ``ns``), while the low-power population
+    stays fixed.
+
+    Returns:
+        ``[(radius_m, ratio), ...]``.
+    """
+    if density_per_m2 <= 0:
+        raise ValueError(f"density must be positive, got {density_per_m2}")
+    series = []
+    for radius in radii_m:
+        if radius <= 0:
+            raise ValueError(f"radius must be positive, got {radius}")
+        n1 = max(ns, int(round(density_per_m2 * math.pi * radius**2)))
+        params = replace(base, n1=n1, ns=ns)
+        series.append((radius, delay_ratio(params)))
+    return series

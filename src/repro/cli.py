@@ -1,0 +1,162 @@
+"""Command-line interface.
+
+``python -m repro`` exposes the most common operations without writing any
+code:
+
+* ``compare``   — run SPMS and SPIN on the same scenario and print the
+  headline metrics (energy per item, average delay, delivery ratio).
+* ``figure``    — regenerate one of the paper's figures and print its rows.
+* ``list-figures`` — list the available figure names.
+* ``table1``    — print the Table 1 parameter set.
+
+Examples::
+
+    python -m repro compare --nodes 49 --radius 20
+    python -m repro figure fig6
+    python -m repro figure fig3
+    python -m repro table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments import figures
+from repro.experiments.claims import delay_ratio, energy_saving_percent
+from repro.experiments.config import FailureConfig, MobilityConfig, SimulationConfig
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import all_to_all_scenario, cluster_scenario
+
+#: Maps CLI figure names to (generator, metric, description).
+SIMULATED_FIGURES: Dict[str, tuple] = {
+    "fig6": (figures.figure6_energy_vs_nodes, "energy_per_item_uj",
+             "energy per item vs number of nodes (static)"),
+    "fig7": (figures.figure7_energy_vs_radius, "energy_per_item_uj",
+             "energy per item vs transmission radius (static)"),
+    "fig8": (figures.figure8_delay_vs_nodes, "average_delay_ms",
+             "average delay vs number of nodes (static)"),
+    "fig9": (figures.figure9_delay_vs_radius, "average_delay_ms",
+             "average delay vs transmission radius (static)"),
+    "fig10": (figures.figure10_delay_failures_vs_nodes, "average_delay_ms",
+              "average delay vs number of nodes (with failures)"),
+    "fig11": (figures.figure11_delay_failures_vs_radius, "average_delay_ms",
+              "average delay vs transmission radius (with failures)"),
+    "fig12": (figures.figure12_energy_mobility, "energy_per_item_uj",
+              "energy per item vs transmission radius (mobility)"),
+    "fig13": (figures.figure13_energy_cluster, "energy_per_item_uj",
+              "energy per item vs transmission radius (cluster traffic)"),
+}
+
+ANALYTICAL_FIGURES = {
+    "fig3": (figures.figure3_delay_ratio, "SPIN/SPMS delay ratio vs radius (analytical)"),
+    "fig5": (figures.figure5_energy_ratio, "SPIN/SPMS energy ratio vs radius (analytical)"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SPMS (DSN 2004) reproduction — comparisons and figure regeneration.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compare = subparsers.add_parser("compare", help="run SPMS and SPIN on one scenario")
+    compare.add_argument("--nodes", type=int, default=49, help="number of sensor nodes")
+    compare.add_argument("--radius", type=float, default=20.0, help="transmission radius (m)")
+    compare.add_argument("--packets", type=int, default=1, help="data items per node")
+    compare.add_argument("--seed", type=int, default=1, help="random seed")
+    compare.add_argument(
+        "--workload", choices=("all_to_all", "cluster"), default="all_to_all"
+    )
+    compare.add_argument("--failures", action="store_true", help="inject transient failures")
+    compare.add_argument("--mobility", action="store_true", help="enable step mobility")
+
+    figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
+    figure.add_argument("name", choices=sorted(SIMULATED_FIGURES) + sorted(ANALYTICAL_FIGURES))
+    figure.add_argument(
+        "--scale", choices=("bench", "paper"), default="bench",
+        help="sweep size for simulated figures",
+    )
+
+    subparsers.add_parser("list-figures", help="list the figures that can be regenerated")
+    subparsers.add_parser("table1", help="print the Table 1 parameter set")
+    return parser
+
+
+def _cmd_compare(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    config = SimulationConfig(
+        num_nodes=args.nodes,
+        transmission_radius_m=args.radius,
+        packets_per_node=args.packets,
+        seed=args.seed,
+    )
+    failures = FailureConfig() if args.failures else None
+    mobility = MobilityConfig() if args.mobility else None
+    results = {}
+    for protocol in ("spms", "spin"):
+        if args.workload == "cluster":
+            spec = cluster_scenario(protocol, config, failures=failures)
+        else:
+            spec = all_to_all_scenario(protocol, config, failures=failures, mobility=mobility)
+        results[protocol] = run_scenario(spec)
+    out(f"{'protocol':>10} {'energy/item (uJ)':>18} {'avg delay (ms)':>16} {'delivered':>10}")
+    for protocol, result in results.items():
+        out(
+            f"{protocol:>10} {result.energy_per_item_uj:>18.3f} "
+            f"{result.average_delay_ms:>16.2f} {result.delivery_ratio:>10.2%}"
+        )
+    out(
+        f"SPMS saves {energy_saving_percent(results['spin'], results['spms']):.1f} % energy; "
+        f"SPIN/SPMS delay ratio {delay_ratio(results['spin'], results['spms']):.2f}x"
+    )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    if args.name in ANALYTICAL_FIGURES:
+        generator, description = ANALYTICAL_FIGURES[args.name]
+        out(f"{args.name}: {description}")
+        for x, y in generator():
+            out(f"{x:>12.2f} {y:>12.4f}")
+        return 0
+    generator, metric, description = SIMULATED_FIGURES[args.name]
+    scale = figures.paper_scale() if args.scale == "paper" else figures.bench_scale()
+    out(f"{args.name}: {description} [{args.scale} scale]")
+    sweep = generator(scale)
+    out(sweep.format_table(metric))
+    return 0
+
+
+def _cmd_list_figures(out: Callable[[str], None]) -> int:
+    for name, (_, description) in sorted(ANALYTICAL_FIGURES.items()):
+        out(f"{name:>6}  {description}")
+    for name, (_, _, description) in sorted(SIMULATED_FIGURES.items()):
+        out(f"{name:>6}  {description}")
+    return 0
+
+
+def _cmd_table1(out: Callable[[str], None]) -> int:
+    for key, value in figures.table1_parameters().items():
+        out(f"{key:<42} {value}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out: Callable[[str], None] = print) -> int:
+    """CLI entry point.  Returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "compare":
+        return _cmd_compare(args, out)
+    if args.command == "figure":
+        return _cmd_figure(args, out)
+    if args.command == "list-figures":
+        return _cmd_list_figures(out)
+    if args.command == "table1":
+        return _cmd_table1(out)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Per-node data cache.
+
+The cache is what meta-data negotiation consults: a node only requests data
+whose descriptor is not already covered by something it holds.  The optional
+capacity bound (with LRU eviction) supports the intermediate-node caching
+extension discussed in the paper's future work.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from repro.core.metadata import DataDescriptor, DataItem
+
+
+class DataCache:
+    """Holds data items keyed by descriptor name.
+
+    Args:
+        capacity: Maximum number of items retained; ``None`` means unbounded.
+            When full, the least recently used item is evicted.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be positive or None, got {capacity}")
+        self.capacity = capacity
+        self._items: "OrderedDict[str, DataItem]" = OrderedDict()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, descriptor: DataDescriptor) -> bool:
+        return self.has(descriptor)
+
+    def add(self, item: DataItem) -> None:
+        """Insert *item*, evicting the LRU item if the cache is full."""
+        key = item.descriptor.name
+        if key in self._items:
+            self._items.move_to_end(key)
+            return
+        self._items[key] = item
+        if self.capacity is not None and len(self._items) > self.capacity:
+            self._items.popitem(last=False)
+            self.evictions += 1
+
+    def has(self, descriptor: DataDescriptor) -> bool:
+        """Whether the cache already covers *descriptor*.
+
+        Exact name matches are O(1); otherwise region coverage is checked so
+        overlapping data is not requested twice (the SPIN "overlap" problem).
+        """
+        if descriptor.name in self._items:
+            self._items.move_to_end(descriptor.name)
+            return True
+        return any(item.descriptor.covers(descriptor) for item in self._items.values())
+
+    def get(self, descriptor: DataDescriptor) -> Optional[DataItem]:
+        """Return the cached item for *descriptor* (exact name or coverage)."""
+        item = self._items.get(descriptor.name)
+        if item is not None:
+            self._items.move_to_end(descriptor.name)
+            return item
+        for candidate in self._items.values():
+            if candidate.descriptor.covers(descriptor):
+                return candidate
+        return None
+
+    def items(self) -> List[DataItem]:
+        """Every cached item (most recently used last)."""
+        return list(self._items.values())
+
+    def clear(self) -> None:
+        """Drop everything."""
+        self._items.clear()

@@ -1,0 +1,66 @@
+"""Classic flooding baseline.
+
+The paper uses flooding as the conceptual baseline both SPIN and SPMS improve
+on: every node retransmits every new data packet to all of its neighbours,
+which delivers data quickly but suffers from *implosion* (destinations receive
+the same data from many paths) and wastes energy because there is no
+negotiation.  The implementation broadcasts DATA packets at maximum power and
+rebroadcasts each item exactly once per node.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.core.interests import InterestModel
+from repro.core.metadata import DataItem
+from repro.core.network import Network
+from repro.core.node_base import ProtocolNode
+from repro.core.packets import BROADCAST, Packet, PacketType
+
+
+class FloodingNode(ProtocolNode):
+    """Flooding: retransmit every newly seen data item to the whole zone."""
+
+    def __init__(
+        self,
+        node_id: int,
+        network: Network,
+        interest_model: InterestModel,
+    ) -> None:
+        super().__init__(node_id, network, interest_model)
+        self._forwarded: Set[str] = set()
+        self.redundant_receptions = 0
+
+    def originate(self, item: DataItem) -> None:
+        """Produce a new item and flood it."""
+        self.items_originated += 1
+        self.cache.add(item)
+        self._flood(item)
+
+    def _flood(self, item: DataItem) -> None:
+        if item.item_id in self._forwarded:
+            return
+        self._forwarded.add(item.item_id)
+        packet = Packet(
+            packet_type=PacketType.DATA,
+            descriptor=item.descriptor,
+            sender=self.node_id,
+            receiver=BROADCAST,
+            origin=self.node_id,
+            final_target=BROADCAST,
+            size_bytes=item.size_bytes,
+            item=item,
+            created_at_ms=self.sim.now,
+        )
+        self.network.broadcast(self.node_id, packet)
+
+    def on_packet(self, packet: Packet) -> None:
+        """Store new data and rebroadcast it once; count duplicates."""
+        if packet.packet_type is not PacketType.DATA:
+            return
+        assert packet.item is not None
+        if not self.store_item(packet.item):
+            self.redundant_receptions += 1
+            return
+        self._flood(packet.item)

@@ -1,0 +1,83 @@
+"""Gossip (probabilistic flooding) baseline.
+
+Each node rebroadcasts a newly received data item with a fixed probability.
+Gossip trades delivery completeness for a reduction in redundant
+transmissions; it is the second classic dissemination scheme the related-work
+section mentions and gives the test-suite a protocol with non-deterministic
+coverage to exercise the delivery-ratio metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.core.interests import InterestModel
+from repro.core.metadata import DataItem
+from repro.core.network import Network
+from repro.core.node_base import ProtocolNode
+from repro.core.packets import BROADCAST, Packet, PacketType
+
+
+class GossipNode(ProtocolNode):
+    """Probabilistic flooding with forwarding probability ``p``.
+
+    Args:
+        node_id: This node's id.
+        network: Shared network.
+        interest_model: Which data this node wants.
+        forward_probability: Probability of rebroadcasting a newly seen item.
+            The originating node always broadcasts its own data.
+    """
+
+    FORWARD_STREAM = "gossip.forward"
+
+    def __init__(
+        self,
+        node_id: int,
+        network: Network,
+        interest_model: InterestModel,
+        forward_probability: float = 0.7,
+    ) -> None:
+        if not 0.0 <= forward_probability <= 1.0:
+            raise ValueError(
+                f"forward probability must be in [0, 1], got {forward_probability}"
+            )
+        super().__init__(node_id, network, interest_model)
+        self.forward_probability = forward_probability
+        self._forwarded: Set[str] = set()
+        self.suppressed_forwards = 0
+
+    def originate(self, item: DataItem) -> None:
+        """Produce a new item and always broadcast it."""
+        self.items_originated += 1
+        self.cache.add(item)
+        self._broadcast(item)
+
+    def _broadcast(self, item: DataItem) -> None:
+        if item.item_id in self._forwarded:
+            return
+        self._forwarded.add(item.item_id)
+        packet = Packet(
+            packet_type=PacketType.DATA,
+            descriptor=item.descriptor,
+            sender=self.node_id,
+            receiver=BROADCAST,
+            origin=self.node_id,
+            final_target=BROADCAST,
+            size_bytes=item.size_bytes,
+            item=item,
+            created_at_ms=self.sim.now,
+        )
+        self.network.broadcast(self.node_id, packet)
+
+    def on_packet(self, packet: Packet) -> None:
+        """Store new data; rebroadcast it with probability ``p``."""
+        if packet.packet_type is not PacketType.DATA:
+            return
+        assert packet.item is not None
+        if not self.store_item(packet.item):
+            return
+        if self.sim.rng.random(self.FORWARD_STREAM) < self.forward_probability:
+            self._broadcast(packet.item)
+        else:
+            self.suppressed_forwards += 1

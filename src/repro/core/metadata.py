@@ -1,0 +1,80 @@
+"""Meta-data naming of sensor data.
+
+SPIN (and therefore SPMS) names data with application-level descriptors
+("meta-data") and negotiates over those descriptors before any data moves.
+A :class:`DataDescriptor` is the meta-data; a :class:`DataItem` is the actual
+(sized) piece of sensor data it describes.
+
+Descriptors also model *overlap*: two sensors observing overlapping regions
+produce items whose descriptors compare equal for the overlapping part, so a
+node that already holds one never requests the other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class DataDescriptor:
+    """Application-level name of a piece of sensor data.
+
+    Attributes:
+        name: Opaque identifier, e.g. ``"temp/region-3/t=120"``.
+        region: Optional coverage region ``(x_min, y_min, x_max, y_max)``
+            allowing overlap detection between descriptors.
+    """
+
+    name: str
+    region: Optional[Tuple[float, float, float, float]] = None
+
+    def covers(self, other: "DataDescriptor") -> bool:
+        """Whether this descriptor's region fully contains *other*'s region.
+
+        Descriptors without regions only cover identical names.
+        """
+        if self.name == other.name:
+            return True
+        if self.region is None or other.region is None:
+            return False
+        sx0, sy0, sx1, sy1 = self.region
+        ox0, oy0, ox1, oy1 = other.region
+        return sx0 <= ox0 and sy0 <= oy0 and sx1 >= ox1 and sy1 >= oy1
+
+    def overlaps(self, other: "DataDescriptor") -> bool:
+        """Whether the two descriptors describe intersecting regions."""
+        if self.name == other.name:
+            return True
+        if self.region is None or other.region is None:
+            return False
+        sx0, sy0, sx1, sy1 = self.region
+        ox0, oy0, ox1, oy1 = other.region
+        return not (sx1 < ox0 or ox1 < sx0 or sy1 < oy0 or oy1 < sy0)
+
+
+@dataclass(frozen=True)
+class DataItem:
+    """A concrete piece of sensor data.
+
+    Attributes:
+        descriptor: The meta-data naming this item.
+        source: Node id of the original producer.
+        size_bytes: Size of the DATA payload (Table 1 default: 40 bytes, i.e.
+            20x the 2-byte REQ).
+        created_at_ms: Simulation time at which the item was produced.
+    """
+
+    descriptor: DataDescriptor
+    source: int
+    size_bytes: int = 40
+    created_at_ms: float = 0.0
+
+    @property
+    def item_id(self) -> str:
+        """Stable identifier used for metric bookkeeping."""
+        return self.descriptor.name
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"data size must be positive, got {self.size_bytes}")

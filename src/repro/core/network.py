@@ -1,0 +1,248 @@
+"""The network: glue between simulator, field, radio, MAC, failures and nodes.
+
+The :class:`Network` performs every transmission on behalf of the protocol
+nodes.  It
+
+* selects the transmission power level (lowest level reaching the receiver,
+  or the maximum level when the protocol asks for it — SPIN always does),
+* computes the per-hop latency with the MAC delay model (contention driven by
+  the number of nodes inside the *used* transmission radius) and, when the
+  channel-reservation model is enabled, defers the transmission until the
+  sender's medium is free and blocks every node inside the used radius for
+  the packet's airtime — this spatial-reuse asymmetry is the mechanism behind
+  SPMS's delay advantage over SPIN,
+* charges transmit energy to the sender and receive energy to each receiver,
+* respects transient failures: failed nodes neither transmit nor receive,
+* schedules the actual delivery (``ProtocolNode.on_packet``) on the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.packets import Packet
+from repro.mac.channel import ChannelReservation
+from repro.mac.delay import MacDelayModel
+from repro.metrics.collector import MetricsCollector
+from repro.radio.energy import EnergyModel
+from repro.radio.power import PowerLevel, PowerTable
+from repro.sim.engine import Simulator
+from repro.topology.field import SensorField
+from repro.topology.zone import ZoneMap
+
+
+class Network:
+    """Delivers packets between protocol nodes over the simulated radio.
+
+    Args:
+        sim: The discrete-event simulator.
+        field: Node positions.
+        power_table: Discrete transmission power levels (its maximum range is
+            the zone radius).
+        zone_map: Zone membership used for broadcast delivery.
+        energy_model: Converts transmissions into energy charges.
+        mac_delay: Per-hop latency model.
+        metrics: Shared metrics collector (energy ledger lives inside it).
+        channel: Optional shared-medium reservation model; ``None`` disables
+            transmission serialisation (useful for the analytical-style runs
+            and for unit tests that want deterministic timing).
+        trace: When true, every transmission is appended to ``sim.trace_log``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        field: SensorField,
+        power_table: PowerTable,
+        zone_map: ZoneMap,
+        energy_model: EnergyModel,
+        mac_delay: MacDelayModel,
+        metrics: MetricsCollector,
+        channel: Optional[ChannelReservation] = None,
+        trace: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.field = field
+        self.power_table = power_table
+        self.zone_map = zone_map
+        self.energy_model = energy_model
+        self.mac_delay = mac_delay
+        self.metrics = metrics
+        self.channel = channel
+        self.trace = trace
+        self._nodes: Dict[int, "ProtocolNode"] = {}
+        self._failed: Set[int] = set()
+        self._range_cache: Dict[Tuple[int, float], List[int]] = {}
+        self._range_cache_version = -1
+
+    # ------------------------------------------------------------ registration
+
+    def register_node(self, node: "ProtocolNode") -> None:
+        """Attach a protocol node; its ``node_id`` must exist in the field."""
+        if node.node_id not in self.field:
+            raise KeyError(f"node {node.node_id} is not part of the sensor field")
+        if node.node_id in self._nodes:
+            raise ValueError(f"node {node.node_id} registered twice")
+        self._nodes[node.node_id] = node
+
+    def node(self, node_id: int) -> "ProtocolNode":
+        """The protocol node with the given id."""
+        return self._nodes[node_id]
+
+    @property
+    def protocol_nodes(self) -> List["ProtocolNode"]:
+        """All registered protocol nodes."""
+        return list(self._nodes.values())
+
+    # ---------------------------------------------------------------- failures
+
+    def fail_node(self, node_id: int) -> None:
+        """Mark a node as transiently failed."""
+        if node_id in self._failed:
+            return
+        self._failed.add(node_id)
+        node = self._nodes.get(node_id)
+        if node is not None:
+            node.on_failed()
+
+    def recover_node(self, node_id: int) -> None:
+        """Bring a failed node back up."""
+        if node_id not in self._failed:
+            return
+        self._failed.discard(node_id)
+        node = self._nodes.get(node_id)
+        if node is not None:
+            node.on_recovered()
+
+    def is_failed(self, node_id: int) -> bool:
+        """Whether *node_id* is currently down."""
+        return node_id in self._failed
+
+    @property
+    def failed_nodes(self) -> Set[int]:
+        """Snapshot of currently failed nodes."""
+        return set(self._failed)
+
+    # ------------------------------------------------------------ geometry cache
+
+    def _neighbors_within(self, sender: int, range_m: float) -> List[int]:
+        """Cached neighbour lookup (invalidated when any node moves)."""
+        if self._range_cache_version != self.field.topology_version:
+            self._range_cache.clear()
+            self._range_cache_version = self.field.topology_version
+        key = (sender, range_m)
+        neighbors = self._range_cache.get(key)
+        if neighbors is None:
+            neighbors = self.field.neighbors_within(sender, range_m)
+            self._range_cache[key] = neighbors
+        return neighbors
+
+    def _contenders(self, sender: int, level: PowerLevel) -> int:
+        """Nodes competing for the channel when *sender* transmits at *level*."""
+        return len(self._neighbors_within(sender, level.range_m)) + 1
+
+    def _trace(self, label: str, detail=None) -> None:
+        if self.trace:
+            self.sim.trace_log.record(self.sim.now, "packet", label, detail)
+
+    # ------------------------------------------------------------ transmission
+
+    def _transmit(
+        self, sender: int, packet: Packet, level: PowerLevel, receivers: Sequence[int]
+    ) -> None:
+        """Common path for broadcast and unicast transmissions."""
+        timing = self.mac_delay.timing(packet.size_bytes, self._contenders(sender, level))
+        ready_at = self.sim.now + timing.contention_ms + timing.backoff_ms
+        if self.channel is not None:
+            start = self.channel.earliest_start(sender, ready_at)
+            self.channel.record_wait(start - ready_at)
+            affected = self._neighbors_within(sender, level.range_m) + [sender]
+            end = self.channel.reserve(affected, start, timing.airtime_ms)
+        else:
+            end = ready_at + timing.airtime_ms
+        cost = self.energy_model.tx_cost(packet.size_bytes, level)
+        self.metrics.energy.charge(sender, cost.energy_uj, category="tx")
+        self.metrics.record_send(packet.packet_type.value)
+        delivery_delay = (end + timing.processing_ms) - self.sim.now
+        for receiver in receivers:
+            self.sim.schedule(
+                delivery_delay,
+                lambda r=receiver, p=packet: self._deliver(r, p),
+                name=f"deliver.{packet.packet_type.value}",
+            )
+
+    def broadcast(self, sender: int, packet: Packet) -> bool:
+        """Broadcast *packet* at maximum power to the sender's zone.
+
+        Returns False (and drops the packet) when the sender is down.
+        """
+        if self.is_failed(sender):
+            self.metrics.record_drop("sender_failed")
+            return False
+        level = self.power_table.max_level
+        receivers = [
+            other
+            for other in self.zone_map.zone_neighbors(sender)
+            if other in self._nodes
+        ]
+        self._trace(f"broadcast {packet.label()}")
+        self._transmit(sender, packet, level, receivers)
+        return True
+
+    def unicast(
+        self,
+        sender: int,
+        receiver: int,
+        packet: Packet,
+        force_max_power: bool = False,
+    ) -> bool:
+        """Send *packet* from *sender* to *receiver* at the lowest power level
+        that covers the distance (or at maximum power when forced).
+
+        Returns False when the transmission cannot happen (sender down or
+        receiver out of range); the receiver being down is only discovered at
+        delivery time, exactly as for a real radio.
+        """
+        if self.is_failed(sender):
+            self.metrics.record_drop("sender_failed")
+            return False
+        distance = self.field.distance(sender, receiver)
+        if distance > self.power_table.max_range_m + 1e-9:
+            self.metrics.record_drop("out_of_range")
+            return False
+        if force_max_power:
+            level = self.power_table.max_level
+        else:
+            level = self.power_table.level_for_distance(distance)
+        self._trace(f"unicast {packet.label()} @level{level.index}")
+        self._transmit(sender, packet, level, [receiver])
+        return True
+
+    # ------------------------------------------------------------------ deliver
+
+    def _deliver(self, receiver: int, packet: Packet) -> None:
+        if self.is_failed(receiver):
+            self.metrics.record_drop("receiver_failed")
+            return
+        node = self._nodes.get(receiver)
+        if node is None:
+            self.metrics.record_drop("unknown_receiver")
+            return
+        self.metrics.energy.charge(
+            receiver, self.energy_model.rx_cost(packet.size_bytes), category="rx"
+        )
+        self.metrics.record_receive(packet.packet_type.value)
+        delivered = Packet(
+            packet_type=packet.packet_type,
+            descriptor=packet.descriptor,
+            sender=packet.sender,
+            receiver=receiver,
+            origin=packet.origin,
+            final_target=packet.final_target,
+            size_bytes=packet.size_bytes,
+            item=packet.item,
+            hop_count=packet.hop_count + 1,
+            multi_hop=packet.multi_hop,
+            created_at_ms=packet.created_at_ms,
+        )
+        node.on_packet(delivered)

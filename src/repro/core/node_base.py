@@ -1,0 +1,149 @@
+"""Common protocol-node machinery shared by SPIN, SPMS and the baselines."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from repro.core.cache import DataCache
+from repro.core.interests import InterestModel
+from repro.core.metadata import DataDescriptor, DataItem
+from repro.core.network import Network
+from repro.core.packets import BROADCAST, Packet, PacketType
+
+#: Table 1 packet sizes.
+DEFAULT_ADV_SIZE_BYTES = 2
+DEFAULT_REQ_SIZE_BYTES = 2
+DEFAULT_DATA_SIZE_BYTES = 40
+
+
+class ProtocolNode(ABC):
+    """Base class for dissemination protocol state machines.
+
+    A protocol node never talks to the simulator or radio directly; it only
+    calls :meth:`Network.broadcast` / :meth:`Network.unicast` and receives
+    :meth:`on_packet` callbacks.  That keeps every protocol measured through
+    exactly the same energy and delay accounting.
+
+    Args:
+        node_id: This node's identifier in the sensor field.
+        network: The shared network object.
+        interest_model: Decides whether this node wants an advertised item.
+        adv_size_bytes: ADV packet size.
+        req_size_bytes: REQ packet size.
+        cache_capacity: Optional bound on the data cache.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        network: Network,
+        interest_model: InterestModel,
+        adv_size_bytes: int = DEFAULT_ADV_SIZE_BYTES,
+        req_size_bytes: int = DEFAULT_REQ_SIZE_BYTES,
+        cache_capacity: Optional[int] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.network = network
+        self.interest_model = interest_model
+        self.adv_size_bytes = adv_size_bytes
+        self.req_size_bytes = req_size_bytes
+        self.cache = DataCache(capacity=cache_capacity)
+        self.items_originated = 0
+        self.items_received = 0
+
+    # ------------------------------------------------------------------ hooks
+
+    @property
+    def sim(self):
+        """The simulator (convenience accessor)."""
+        return self.network.sim
+
+    @property
+    def metrics(self):
+        """The shared metrics collector (convenience accessor)."""
+        return self.network.metrics
+
+    @abstractmethod
+    def originate(self, item: DataItem) -> None:
+        """Called by the workload when this node produces a new data item."""
+
+    @abstractmethod
+    def on_packet(self, packet: Packet) -> None:
+        """Called by the network when a packet is delivered to this node."""
+
+    def on_failed(self) -> None:
+        """Hook invoked when the failure injector takes this node down."""
+
+    def on_recovered(self) -> None:
+        """Hook invoked when this node comes back up."""
+
+    # --------------------------------------------------------------- helpers
+
+    def wants(self, descriptor: DataDescriptor, source: int) -> bool:
+        """Whether this node is interested in *descriptor* and lacks it."""
+        if self.cache.has(descriptor):
+            return False
+        return self.interest_model.is_interested(self.node_id, descriptor, source)
+
+    def store_item(self, item: DataItem) -> bool:
+        """Add *item* to the cache; record delivery if this node wanted it.
+
+        Returns True when this is the first time the node obtained the item.
+        """
+        if self.cache.has(item.descriptor):
+            return False
+        interested = self.interest_model.is_interested(
+            self.node_id, item.descriptor, item.source
+        )
+        self.cache.add(item)
+        self.items_received += 1
+        if interested and item.source != self.node_id:
+            self.metrics.record_delivery(item.item_id, self.node_id, self.sim.now)
+        return True
+
+    # ----------------------------------------------------------- packet build
+
+    def make_adv(self, descriptor: DataDescriptor) -> Packet:
+        """Build an ADV broadcast about *descriptor*."""
+        return Packet(
+            packet_type=PacketType.ADV,
+            descriptor=descriptor,
+            sender=self.node_id,
+            receiver=BROADCAST,
+            origin=self.node_id,
+            final_target=BROADCAST,
+            size_bytes=self.adv_size_bytes,
+            created_at_ms=self.sim.now,
+        )
+
+    def make_req(self, descriptor: DataDescriptor, next_hop: int, final_target: int,
+                 multi_hop: bool = False) -> Packet:
+        """Build a REQ addressed to *next_hop*, ultimately for *final_target*."""
+        return Packet(
+            packet_type=PacketType.REQ,
+            descriptor=descriptor,
+            sender=self.node_id,
+            receiver=next_hop,
+            origin=self.node_id,
+            final_target=final_target,
+            size_bytes=self.req_size_bytes,
+            multi_hop=multi_hop,
+            created_at_ms=self.sim.now,
+        )
+
+    def make_data(self, item: DataItem, next_hop: int, final_target: int,
+                  multi_hop: bool = False) -> Packet:
+        """Build a DATA packet carrying *item* towards *final_target*."""
+        return Packet(
+            packet_type=PacketType.DATA,
+            descriptor=item.descriptor,
+            sender=self.node_id,
+            receiver=next_hop,
+            origin=self.node_id,
+            final_target=final_target,
+            size_bytes=item.size_bytes,
+            item=item,
+            multi_hop=multi_hop,
+            created_at_ms=self.sim.now,
+        )

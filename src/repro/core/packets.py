@@ -1,0 +1,100 @@
+"""ADV / REQ / DATA packets.
+
+Packet sizes follow Table 1: ADV and REQ are 2 bytes of meta-data, DATA is
+20x the REQ size.  Sizes are carried explicitly on the packet because the MAC
+and energy models need them and because the DATA size is configurable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.core.metadata import DataDescriptor, DataItem
+
+#: Sentinel destination meaning "broadcast to every node in range".
+BROADCAST = -1
+
+_packet_counter = itertools.count()
+
+
+class PacketType(Enum):
+    """The three packet kinds used by SPIN and SPMS."""
+
+    ADV = "ADV"
+    REQ = "REQ"
+    DATA = "DATA"
+
+
+@dataclass
+class Packet:
+    """A packet in flight.
+
+    Attributes:
+        packet_type: ADV, REQ or DATA.
+        descriptor: Meta-data this packet is about.
+        sender: Node transmitting this hop.
+        receiver: Node addressed by this hop (:data:`BROADCAST` for ADV).
+        origin: Node that created the packet (e.g. the requesting destination
+            for a REQ, the data holder for a DATA).
+        final_target: Node the packet must ultimately reach; for multi-hop
+            forwarding this differs from ``receiver``.
+        size_bytes: Bytes on the wire for this packet.
+        item: The data item carried (DATA packets only).
+        hop_count: Number of hops traversed so far (the first transmission is
+            hop 1 once it is delivered).
+        multi_hop: Whether the packet has been routed through a relay; used by
+            SPMS to answer along the same kind of path the request took.
+        created_at_ms: Simulation time the packet was created.
+        packet_id: Unique id for tracing.
+    """
+
+    packet_type: PacketType
+    descriptor: DataDescriptor
+    sender: int
+    receiver: int
+    origin: int
+    final_target: int
+    size_bytes: int
+    item: Optional[DataItem] = None
+    hop_count: int = 0
+    multi_hop: bool = False
+    created_at_ms: float = 0.0
+    packet_id: int = field(default_factory=lambda: next(_packet_counter))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size_bytes}")
+        if self.packet_type is PacketType.DATA and self.item is None:
+            raise ValueError("DATA packets must carry a data item")
+
+    @property
+    def is_broadcast(self) -> bool:
+        """Whether this hop is a broadcast."""
+        return self.receiver == BROADCAST
+
+    def next_hop_copy(self, sender: int, receiver: int, multi_hop: bool = True) -> "Packet":
+        """A copy of this packet re-addressed for the next hop."""
+        return Packet(
+            packet_type=self.packet_type,
+            descriptor=self.descriptor,
+            sender=sender,
+            receiver=receiver,
+            origin=self.origin,
+            final_target=self.final_target,
+            size_bytes=self.size_bytes,
+            item=self.item,
+            hop_count=self.hop_count,
+            multi_hop=multi_hop,
+            created_at_ms=self.created_at_ms,
+        )
+
+    def label(self) -> str:
+        """Short human-readable description for traces."""
+        target = "broadcast" if self.is_broadcast else str(self.receiver)
+        return (
+            f"{self.packet_type.value} {self.sender}->{target} "
+            f"({self.descriptor.name}, final={self.final_target})"
+        )

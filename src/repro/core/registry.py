@@ -1,0 +1,73 @@
+"""Protocol factory used by the experiment harness.
+
+The harness only knows protocol names ("spms", "spin", "f-spms", ...); this
+module maps them to node constructors so scenarios stay declarative.  The
+``f-`` prefix (F-SPMS / F-SPIN in the paper's figures) does not change the
+protocol itself — failures are injected by the scenario — so it maps to the
+same node class.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.flooding import FloodingNode
+from repro.core.gossip import GossipNode
+from repro.core.interests import InterestModel
+from repro.core.network import Network
+from repro.core.node_base import ProtocolNode
+from repro.core.spin import SpinNode
+from repro.core.spms import SpmsNode
+from repro.routing.manager import RoutingManager
+
+#: Canonical protocol names accepted by :func:`create_protocol_node`.
+_PROTOCOL_NAMES = ("spms", "spin", "flooding", "gossip")
+
+
+def available_protocols() -> List[str]:
+    """Names accepted by :func:`create_protocol_node`."""
+    return list(_PROTOCOL_NAMES)
+
+
+def normalize_protocol_name(name: str) -> str:
+    """Map user-facing names (including ``f-spms``/``f-spin``) to canonical ones."""
+    canonical = name.strip().lower()
+    if canonical.startswith("f-"):
+        canonical = canonical[2:]
+    if canonical not in _PROTOCOL_NAMES:
+        raise ValueError(
+            f"unknown protocol {name!r}; expected one of {sorted(_PROTOCOL_NAMES)}"
+        )
+    return canonical
+
+
+def create_protocol_node(
+    protocol: str,
+    node_id: int,
+    network: Network,
+    interest_model: InterestModel,
+    routing: Optional[RoutingManager] = None,
+    **kwargs,
+) -> ProtocolNode:
+    """Instantiate a protocol node by name.
+
+    Args:
+        protocol: One of ``"spms"``, ``"spin"``, ``"flooding"``, ``"gossip"``
+            (optionally prefixed with ``"f-"``).
+        node_id: The node id.
+        network: Shared network object.
+        interest_model: Which data the node wants.
+        routing: Routing manager; required for SPMS, ignored by the others.
+        **kwargs: Protocol-specific options forwarded to the constructor
+            (timeouts, packet sizes, extension flags, ...).
+    """
+    canonical = normalize_protocol_name(protocol)
+    if canonical == "spms":
+        if routing is None:
+            raise ValueError("SPMS requires a routing manager")
+        return SpmsNode(node_id, network, interest_model, routing, **kwargs)
+    if canonical == "spin":
+        return SpinNode(node_id, network, interest_model, **kwargs)
+    if canonical == "flooding":
+        return FloodingNode(node_id, network, interest_model, **kwargs)
+    return GossipNode(node_id, network, interest_model, **kwargs)

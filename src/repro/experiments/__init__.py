@@ -1,0 +1,51 @@
+"""Experiment harness: configuration, scenario builders and figure registry.
+
+The harness turns a declarative :class:`~repro.experiments.config.SimulationConfig`
+plus a scenario description into a full simulation (field, radio, MAC,
+routing, protocol nodes, workload, failures, mobility), runs it, and returns a
+:class:`~repro.experiments.results.ScenarioResult`.
+
+Every figure of the paper's evaluation has a generator in
+:mod:`repro.experiments.figures`; the benchmark files under ``benchmarks/``
+simply call those generators and print the resulting rows.
+"""
+
+from repro.experiments.config import (
+    FailureConfig,
+    MobilityConfig,
+    SimulationConfig,
+    TABLE1_PARAMETERS,
+)
+from repro.experiments.results import ScenarioResult, SweepResult
+from repro.experiments.runner import ExperimentRunner, run_scenario
+from repro.experiments.sandbox import Sandbox, build_sandbox, line_positions
+from repro.experiments.scenarios import (
+    ScenarioSpec,
+    all_to_all_scenario,
+    cluster_scenario,
+    single_pair_scenario,
+)
+from repro.experiments.sweep import sweep_nodes, sweep_radius
+from repro.experiments import claims, figures
+
+__all__ = [
+    "ExperimentRunner",
+    "FailureConfig",
+    "MobilityConfig",
+    "Sandbox",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SimulationConfig",
+    "SweepResult",
+    "TABLE1_PARAMETERS",
+    "all_to_all_scenario",
+    "build_sandbox",
+    "claims",
+    "cluster_scenario",
+    "figures",
+    "line_positions",
+    "run_scenario",
+    "single_pair_scenario",
+    "sweep_nodes",
+    "sweep_radius",
+]

@@ -1,0 +1,124 @@
+"""Result containers for experiment runs and parameter sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of one simulation run.
+
+    Attributes:
+        protocol: Protocol name ("spms", "spin", ...).
+        scenario: Scenario name (for provenance in reports).
+        num_nodes: Number of nodes simulated.
+        transmission_radius_m: Maximum transmission radius used.
+        items_generated: Data items originated by the workload.
+        expected_deliveries: Number of (item, destination) pairs the workload
+            expected to complete.
+        deliveries_completed: How many of those completed.
+        total_energy_uj: Network-wide energy (microjoules).
+        energy_per_item_uj: Total energy / items generated — the paper's
+            energy metric.
+        average_delay_ms: Mean end-to-end delay over completed deliveries.
+        delivery_ratio: Completed / expected deliveries.
+        energy_breakdown_uj: Energy per category (tx / rx / routing).
+        packets_sent: Transmissions per packet type.
+        packets_dropped: Drops per reason.
+        routing_rebuilds: How many times the routing tables were (re)built.
+        routing_energy_uj: Energy charged to route formation/maintenance.
+        sim_time_ms: Simulated time when the run finished.
+        failures_injected: Number of transient failures injected.
+    """
+
+    protocol: str
+    scenario: str
+    num_nodes: int
+    transmission_radius_m: float
+    items_generated: int
+    expected_deliveries: int
+    deliveries_completed: int
+    total_energy_uj: float
+    energy_per_item_uj: float
+    average_delay_ms: float
+    delivery_ratio: float
+    energy_breakdown_uj: Dict[str, float] = field(default_factory=dict)
+    packets_sent: Dict[str, int] = field(default_factory=dict)
+    packets_dropped: Dict[str, int] = field(default_factory=dict)
+    routing_rebuilds: int = 0
+    routing_energy_uj: float = 0.0
+    sim_time_ms: float = 0.0
+    failures_injected: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary representation (used by reports and benchmarks)."""
+        return {
+            "protocol": self.protocol,
+            "scenario": self.scenario,
+            "num_nodes": self.num_nodes,
+            "transmission_radius_m": self.transmission_radius_m,
+            "items_generated": self.items_generated,
+            "expected_deliveries": self.expected_deliveries,
+            "deliveries_completed": self.deliveries_completed,
+            "total_energy_uj": self.total_energy_uj,
+            "energy_per_item_uj": self.energy_per_item_uj,
+            "average_delay_ms": self.average_delay_ms,
+            "delivery_ratio": self.delivery_ratio,
+            "routing_rebuilds": self.routing_rebuilds,
+            "routing_energy_uj": self.routing_energy_uj,
+            "sim_time_ms": self.sim_time_ms,
+            "failures_injected": self.failures_injected,
+        }
+
+
+@dataclass
+class SweepResult:
+    """Results of sweeping one parameter for several protocols.
+
+    Attributes:
+        parameter: Name of the swept parameter (e.g. ``"num_nodes"``).
+        values: The swept values, in order.
+        results: ``results[protocol][i]`` is the run at ``values[i]``.
+    """
+
+    parameter: str
+    values: List[float] = field(default_factory=list)
+    results: Dict[str, List[ScenarioResult]] = field(default_factory=dict)
+
+    def add(self, protocol: str, value: float, result: ScenarioResult) -> None:
+        """Record one run."""
+        if value not in self.values:
+            self.values.append(value)
+        self.results.setdefault(protocol, []).append(result)
+
+    def series(self, protocol: str, metric: str) -> List[float]:
+        """Extract one metric across the sweep for one protocol."""
+        return [getattr(r, metric) for r in self.results.get(protocol, [])]
+
+    def rows(self, metric: str) -> List[Dict[str, object]]:
+        """Tabular view: one row per swept value, one column per protocol."""
+        rows = []
+        for index, value in enumerate(self.values):
+            row: Dict[str, object] = {self.parameter: value}
+            for protocol, results in self.results.items():
+                if index < len(results):
+                    row[protocol] = getattr(results[index], metric)
+            rows.append(row)
+        return rows
+
+    def format_table(self, metric: str, precision: int = 3) -> str:
+        """Readable fixed-width table for benchmark output."""
+        protocols = sorted(self.results)
+        header = f"{self.parameter:>20} " + " ".join(f"{p:>14}" for p in protocols)
+        lines = [header, "-" * len(header)]
+        for row in self.rows(metric):
+            cells = [f"{row[self.parameter]:>20}"]
+            for protocol in protocols:
+                value = row.get(protocol)
+                cells.append(
+                    f"{value:>14.{precision}f}" if isinstance(value, (int, float)) else f"{'-':>14}"
+                )
+            lines.append(" ".join(cells))
+        return "\n".join(lines)

@@ -1,0 +1,281 @@
+"""Builds and runs one scenario end to end.
+
+The runner assembles the whole stack from a :class:`ScenarioSpec`:
+
+    simulator -> field -> power table / zones -> energy + MAC models ->
+    network -> routing manager (SPMS) -> protocol nodes -> workload ->
+    failure injector / mobility -> run -> ScenarioResult
+
+Mobility runs are executed as a sequence of traffic *bursts*: the origination
+schedule is split into ``num_epochs + 1`` contiguous groups; after each group
+drains, a mobility epoch relocates nodes, the zones are refreshed and (for
+SPMS) the routing tables are rebuilt with their energy charged — mirroring the
+paper's "once the routing tables converge, the data transmission starts all
+over again".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.core.network import Network
+from repro.core.node_base import ProtocolNode
+from repro.core.registry import create_protocol_node, normalize_protocol_name
+from repro.experiments.config import SimulationConfig
+from repro.experiments.results import ScenarioResult
+from repro.experiments.scenarios import ScenarioSpec
+from repro.faults.injector import FailureInjector
+from repro.faults.models import TransientFailureModel
+from repro.mac.channel import ChannelReservation
+from repro.mac.delay import MacDelayModel
+from repro.metrics.collector import MetricsCollector
+from repro.mobility.step import StepMobilityModel
+from repro.radio.energy import EnergyModel
+from repro.routing.manager import RoutingManager
+from repro.sim.engine import Simulator
+from repro.topology.field import SensorField
+from repro.topology.placement import grid_placement
+from repro.topology.zone import ZoneMap
+from repro.workload.all_to_all import AllToAllWorkload
+from repro.workload.base import ScheduledItem, Workload
+from repro.workload.cluster import ClusterWorkload
+from repro.workload.poisson import PoissonArrivals
+from repro.workload.single_pair import SinglePairWorkload
+
+
+class ExperimentRunner:
+    """Owns every object of one scenario run."""
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec
+        self.config: SimulationConfig = spec.config
+        self.protocol = normalize_protocol_name(spec.protocol)
+        self.sim: Optional[Simulator] = None
+        self.field: Optional[SensorField] = None
+        self.zone_map: Optional[ZoneMap] = None
+        self.network: Optional[Network] = None
+        self.routing: Optional[RoutingManager] = None
+        self.metrics: Optional[MetricsCollector] = None
+        self.nodes: Dict[int, ProtocolNode] = {}
+        self.workload: Optional[Workload] = None
+        self.schedule: List[ScheduledItem] = []
+        self.injector: Optional[FailureInjector] = None
+        self._built = False
+
+    # -------------------------------------------------------------------- build
+
+    def build(self) -> None:
+        """Construct the full simulation (idempotent)."""
+        if self._built:
+            return
+        config = self.config
+        self.sim = Simulator(seed=config.seed, trace=self.spec.trace)
+        self.field = SensorField(grid_placement(config.num_nodes, config.grid_spacing_m))
+        power_table = config.power_table()
+        self.zone_map = ZoneMap(self.field, config.transmission_radius_m)
+        self.metrics = MetricsCollector()
+        energy_model = EnergyModel(
+            power_table,
+            t_tx_per_byte_ms=config.t_tx_per_byte_ms,
+            rx_power_mw=config.rx_power_mw,
+        )
+        mac_delay = MacDelayModel(
+            contention=config.contention_model(),
+            slot_time_ms=config.slot_time_ms,
+            num_slots=config.num_slots,
+            t_tx_per_byte_ms=config.t_tx_per_byte_ms,
+            t_proc_ms=config.t_proc_ms,
+            rng=self.sim.rng if config.random_backoff else None,
+        )
+        channel = ChannelReservation() if config.channel_reservation else None
+        self.network = Network(
+            sim=self.sim,
+            field=self.field,
+            power_table=power_table,
+            zone_map=self.zone_map,
+            energy_model=energy_model,
+            mac_delay=mac_delay,
+            metrics=self.metrics,
+            channel=channel,
+            trace=self.spec.trace,
+        )
+        if self.protocol == "spms":
+            self.routing = RoutingManager(
+                field=self.field,
+                power_table=power_table,
+                zone_map=self.zone_map,
+                energy_model=energy_model,
+                energy_ledger=self.metrics.energy,
+                mac_delay=mac_delay,
+                charge_energy=self.spec.charge_initial_routing,
+            )
+            self.routing.build()
+            # Re-executions caused by mobility are always charged.
+            self.routing.charge_energy = True
+        self.workload = self._build_workload()
+        self.schedule = self.workload.generate(self.sim.rng)
+        interest_model = self.workload.interest_model()
+        for node_id in self.field.node_ids:
+            node = create_protocol_node(
+                self.protocol,
+                node_id,
+                self.network,
+                interest_model,
+                routing=self.routing,
+                **self._protocol_kwargs(),
+            )
+            self.network.register_node(node)
+            self.nodes[node_id] = node
+        self._built = True
+
+    def _build_workload(self) -> Workload:
+        assert self.field is not None and self.zone_map is not None
+        config = self.config
+        options = dict(self.spec.workload_options)
+        arrivals = PoissonArrivals(mean_interarrival_ms=config.arrival_mean_interarrival_ms)
+        if self.spec.workload == "all_to_all":
+            options.setdefault("packets_per_node", config.packets_per_node)
+            options.setdefault("data_size_bytes", config.data_size_bytes)
+            options.setdefault("arrivals", arrivals)
+            return AllToAllWorkload(self.field.node_ids, **options)
+        if self.spec.workload == "cluster":
+            options.setdefault("data_size_bytes", config.data_size_bytes)
+            options.setdefault("arrivals", arrivals)
+            return ClusterWorkload(self.field, self.zone_map, **options)
+        if self.spec.workload == "single_pair":
+            options.setdefault("data_size_bytes", config.data_size_bytes)
+            return SinglePairWorkload(**options)
+        raise ValueError(f"unknown workload kind {self.spec.workload!r}")
+
+    def _protocol_kwargs(self) -> Dict[str, object]:
+        config = self.config
+        kwargs: Dict[str, object] = {}
+        if self.protocol in ("spms", "spin"):
+            kwargs["adv_size_bytes"] = config.adv_size_bytes
+            kwargs["req_size_bytes"] = config.req_size_bytes
+        if self.protocol == "spms":
+            kwargs["tout_adv_ms"] = config.tout_adv_ms
+            kwargs["tout_dat_ms"] = config.tout_dat_ms
+        if self.protocol == "spin":
+            kwargs["tout_dat_ms"] = config.tout_dat_ms
+        kwargs.update(self.spec.protocol_options)
+        return kwargs
+
+    # ---------------------------------------------------------------------- run
+
+    def run(self) -> ScenarioResult:
+        """Execute the scenario and return its result."""
+        self.build()
+        assert self.sim is not None and self.metrics is not None
+        if self.spec.mobility is not None:
+            self._run_with_mobility()
+        else:
+            self._schedule_burst(self.schedule)
+            self._start_failures(self._schedule_horizon(self.schedule))
+            self.sim.run(until=self.config.max_sim_time_ms)
+        return self._collect()
+
+    # ----------------------------------------------------------- traffic bursts
+
+    def _schedule_burst(self, items: List[ScheduledItem], base_time: Optional[float] = None) -> None:
+        """Schedule a group of originations, shifted so none lies in the past."""
+        assert self.sim is not None and self.metrics is not None
+        if not items:
+            return
+        base = items[0].time_ms if base_time is None else base_time
+        offset = self.sim.now
+        for scheduled in items:
+            fire_at = offset + max(0.0, scheduled.time_ms - base)
+            self.metrics.record_item_generated(
+                scheduled.item.item_id, fire_at, scheduled.interested
+            )
+            self.sim.schedule_at(
+                fire_at,
+                lambda s=scheduled: self.nodes[s.source].originate(s.item),
+                name="workload.originate",
+            )
+
+    def _schedule_horizon(self, items: List[ScheduledItem]) -> float:
+        if not items:
+            return self.spec.settle_margin_ms
+        span = items[-1].time_ms - items[0].time_ms
+        return (self.sim.now if self.sim else 0.0) + span + self.spec.settle_margin_ms
+
+    def _start_failures(self, horizon_ms: float) -> None:
+        if self.spec.failures is None:
+            return
+        assert self.sim is not None and self.network is not None and self.field is not None
+        model = TransientFailureModel(
+            mean_interarrival_ms=self.spec.failures.mean_interarrival_ms,
+            repair_min_ms=self.spec.failures.repair_min_ms,
+            repair_max_ms=self.spec.failures.repair_max_ms,
+        )
+        self.injector = FailureInjector(
+            sim=self.sim,
+            target=self.network,
+            model=model,
+            candidates=self.field.node_ids,
+            horizon_ms=max(horizon_ms, self.sim.now + 1.0),
+        )
+        self.injector.start()
+
+    def _run_with_mobility(self) -> None:
+        assert self.sim is not None and self.field is not None and self.zone_map is not None
+        mobility = self.spec.mobility
+        assert mobility is not None
+        model = StepMobilityModel(
+            self.field,
+            move_fraction=mobility.move_fraction,
+            max_displacement_m=mobility.max_displacement_m,
+        )
+        bursts = self._split_bursts(self.schedule, mobility.num_epochs + 1)
+        for index, burst in enumerate(bursts):
+            self._schedule_burst(burst)
+            if index == 0:
+                self._start_failures(self._schedule_horizon(self.schedule))
+            self.sim.run(until=self.config.max_sim_time_ms)
+            if index < len(bursts) - 1:
+                model.apply_epoch(self.sim.rng)
+                self.zone_map.refresh()
+                if self.routing is not None:
+                    self.routing.build(exclude_nodes=self.network.failed_nodes)
+
+    @staticmethod
+    def _split_bursts(items: List[ScheduledItem], parts: int) -> List[List[ScheduledItem]]:
+        if parts <= 1 or not items:
+            return [items]
+        size = math.ceil(len(items) / parts)
+        return [items[i : i + size] for i in range(0, len(items), size)]
+
+    # ------------------------------------------------------------------ results
+
+    def _collect(self) -> ScenarioResult:
+        assert self.metrics is not None and self.sim is not None
+        metrics = self.metrics
+        routing_rebuilds = self.routing.rebuilds if self.routing is not None else 0
+        return ScenarioResult(
+            protocol=self.protocol,
+            scenario=self.spec.name,
+            num_nodes=self.config.num_nodes,
+            transmission_radius_m=self.config.transmission_radius_m,
+            items_generated=metrics.items_generated,
+            expected_deliveries=metrics.expected_delivery_count,
+            deliveries_completed=metrics.delay.deliveries_completed,
+            total_energy_uj=metrics.total_energy_uj,
+            energy_per_item_uj=metrics.energy_per_item_uj,
+            average_delay_ms=metrics.average_delay_ms,
+            delivery_ratio=metrics.delivery_ratio,
+            energy_breakdown_uj=metrics.energy_breakdown(),
+            packets_sent=dict(metrics.packets_sent),
+            packets_dropped=dict(metrics.packets_dropped),
+            routing_rebuilds=routing_rebuilds,
+            routing_energy_uj=metrics.energy.category_total("routing"),
+            sim_time_ms=self.sim.now,
+            failures_injected=self.injector.failures_injected if self.injector else 0,
+        )
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Convenience wrapper: build, run and return the result of *spec*."""
+    return ExperimentRunner(spec).run()

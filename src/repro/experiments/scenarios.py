@@ -1,0 +1,126 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` fully describes one run: which protocol, which
+workload and scale, whether failures are injected and whether nodes move.
+The per-figure generators in :mod:`repro.experiments.figures` are thin
+wrappers around these builders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.config import FailureConfig, MobilityConfig, SimulationConfig
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One experiment to run.
+
+    Attributes:
+        name: Human-readable scenario name (appears in results).
+        protocol: Protocol to run ("spms", "spin", "flooding", "gossip").
+        config: Simulation configuration.
+        workload: Workload kind: "all_to_all", "cluster" or "single_pair".
+        workload_options: Extra keyword arguments for the workload constructor
+            (e.g. ``source``/``destinations`` for "single_pair",
+            ``packets_per_member`` for "cluster").
+        protocol_options: Extra keyword arguments for the protocol node
+            constructor (e.g. ``serve_from_cache=True``).
+        failures: Transient-failure injection parameters, or ``None``.
+        mobility: Step-mobility parameters, or ``None``.
+        charge_initial_routing: Charge the energy of the very first routing
+            table construction to SPMS (the paper only charges re-executions
+            caused by mobility, so the default is False).
+        settle_margin_ms: Extra simulated time allowed after the last
+            origination before failure injection stops.
+        trace: Record a packet-level trace (slow; for debugging/examples).
+    """
+
+    name: str
+    protocol: str
+    config: SimulationConfig
+    workload: str = "all_to_all"
+    workload_options: Dict[str, object] = field(default_factory=dict)
+    protocol_options: Dict[str, object] = field(default_factory=dict)
+    failures: Optional[FailureConfig] = None
+    mobility: Optional[MobilityConfig] = None
+    charge_initial_routing: bool = False
+    settle_margin_ms: float = 50.0
+    trace: bool = False
+
+
+def all_to_all_scenario(
+    protocol: str,
+    config: Optional[SimulationConfig] = None,
+    failures: Optional[FailureConfig] = None,
+    mobility: Optional[MobilityConfig] = None,
+    name: Optional[str] = None,
+    **workload_options,
+) -> ScenarioSpec:
+    """All-to-all communication (Section 5.1)."""
+    config = config if config is not None else SimulationConfig()
+    return ScenarioSpec(
+        name=name or f"all-to-all/{protocol}",
+        protocol=protocol,
+        config=config,
+        workload="all_to_all",
+        workload_options=dict(workload_options),
+        failures=failures,
+        mobility=mobility,
+    )
+
+
+def cluster_scenario(
+    protocol: str,
+    config: Optional[SimulationConfig] = None,
+    failures: Optional[FailureConfig] = None,
+    packets_per_member: int = 2,
+    member_interest_probability: float = 0.05,
+    name: Optional[str] = None,
+    **workload_options,
+) -> ScenarioSpec:
+    """Cluster-based hierarchical communication (Section 5.2)."""
+    config = config if config is not None else SimulationConfig()
+    options: Dict[str, object] = {
+        "packets_per_member": packets_per_member,
+        "member_interest_probability": member_interest_probability,
+    }
+    options.update(workload_options)
+    return ScenarioSpec(
+        name=name or f"cluster/{protocol}",
+        protocol=protocol,
+        config=config,
+        workload="cluster",
+        workload_options=options,
+        failures=failures,
+    )
+
+
+def single_pair_scenario(
+    protocol: str,
+    source: int,
+    destinations: Sequence[int],
+    config: Optional[SimulationConfig] = None,
+    num_items: int = 1,
+    failures: Optional[FailureConfig] = None,
+    name: Optional[str] = None,
+    **workload_options,
+) -> ScenarioSpec:
+    """One source disseminating to an explicit destination set (Section 3.3/3.5)."""
+    config = config if config is not None else SimulationConfig()
+    options: Dict[str, object] = {
+        "source": source,
+        "destinations": list(destinations),
+        "num_items": num_items,
+    }
+    options.update(workload_options)
+    return ScenarioSpec(
+        name=name or f"single-pair/{protocol}",
+        protocol=protocol,
+        config=config,
+        workload="single_pair",
+        workload_options=options,
+        failures=failures,
+    )

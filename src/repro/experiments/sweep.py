@@ -1,0 +1,89 @@
+"""Parameter sweeps over node count and transmission radius.
+
+Every simulation figure in the paper is a sweep of either the number of nodes
+(Figures 6, 8, 10) or the transmission radius (Figures 7, 9, 11, 12, 13) with
+one curve per protocol.  These helpers run such sweeps and return a
+:class:`~repro.experiments.results.SweepResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.experiments.config import FailureConfig, MobilityConfig, SimulationConfig
+from repro.experiments.results import SweepResult
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import ScenarioSpec, all_to_all_scenario, cluster_scenario
+
+ScenarioFactory = Callable[[str, SimulationConfig], ScenarioSpec]
+
+
+def _default_factory(
+    workload: str,
+    failures: Optional[FailureConfig],
+    mobility: Optional[MobilityConfig],
+    **workload_options,
+) -> ScenarioFactory:
+    def factory(protocol: str, config: SimulationConfig) -> ScenarioSpec:
+        if workload == "cluster":
+            return cluster_scenario(protocol, config, failures=failures, **workload_options)
+        return all_to_all_scenario(
+            protocol, config, failures=failures, mobility=mobility, **workload_options
+        )
+
+    return factory
+
+
+def sweep_nodes(
+    node_counts: Sequence[int],
+    protocols: Sequence[str] = ("spms", "spin"),
+    base_config: Optional[SimulationConfig] = None,
+    workload: str = "all_to_all",
+    failures: Optional[FailureConfig] = None,
+    mobility: Optional[MobilityConfig] = None,
+    scenario_factory: Optional[ScenarioFactory] = None,
+    **workload_options,
+) -> SweepResult:
+    """Run every protocol at every node count (Figures 6, 8, 10).
+
+    Args:
+        node_counts: Values of the swept ``num_nodes`` parameter.
+        protocols: Protocols to compare.
+        base_config: Configuration shared by all runs (node count overridden).
+        workload: "all_to_all" or "cluster".
+        failures: Failure injection (F-SPMS / F-SPIN curves) or ``None``.
+        mobility: Step mobility or ``None``.
+        scenario_factory: Custom scenario builder overriding the defaults.
+        **workload_options: Forwarded to the workload constructor.
+    """
+    base = base_config if base_config is not None else SimulationConfig()
+    factory = scenario_factory or _default_factory(workload, failures, mobility, **workload_options)
+    sweep = SweepResult(parameter="num_nodes")
+    for count in node_counts:
+        config = base.with_overrides(num_nodes=count)
+        for protocol in protocols:
+            result = run_scenario(factory(protocol, config))
+            sweep.add(protocol, count, result)
+    return sweep
+
+
+def sweep_radius(
+    radii_m: Sequence[float],
+    protocols: Sequence[str] = ("spms", "spin"),
+    base_config: Optional[SimulationConfig] = None,
+    workload: str = "all_to_all",
+    failures: Optional[FailureConfig] = None,
+    mobility: Optional[MobilityConfig] = None,
+    scenario_factory: Optional[ScenarioFactory] = None,
+    **workload_options,
+) -> SweepResult:
+    """Run every protocol at every transmission radius (Figures 7, 9, 11-13)."""
+    base = base_config if base_config is not None else SimulationConfig()
+    factory = scenario_factory or _default_factory(workload, failures, mobility, **workload_options)
+    sweep = SweepResult(parameter="transmission_radius_m")
+    for radius in radii_m:
+        config = base.with_overrides(transmission_radius_m=radius)
+        for protocol in protocols:
+            result = run_scenario(factory(protocol, config))
+            sweep.add(protocol, radius, result)
+    return sweep

@@ -1,0 +1,22 @@
+"""Failure injection.
+
+The paper's failure experiments (Sections 5.1.2 and 5.2) use *transient node
+failures*: nodes fail with exponentially distributed inter-arrival times and
+stay failed for a repair time drawn from a uniform distribution.  While a node
+is failed it drops every received message and cancels every scheduled
+transmission; recovery always succeeds.
+
+:class:`~repro.faults.injector.FailureInjector` drives that process on the
+simulator, calling ``fail_node`` / ``recover_node`` on any target implementing
+the :class:`~repro.faults.injector.FailureTarget` protocol (the network).
+"""
+
+from repro.faults.injector import FailureInjector, FailureTarget
+from repro.faults.models import FailureEvent, TransientFailureModel
+
+__all__ = [
+    "FailureEvent",
+    "FailureInjector",
+    "FailureTarget",
+    "TransientFailureModel",
+]

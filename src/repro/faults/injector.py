@@ -1,0 +1,80 @@
+"""Online failure injector driving transient failures on the simulator."""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence
+
+from repro.faults.models import TransientFailureModel
+from repro.sim.engine import Simulator
+
+
+class FailureTarget(Protocol):
+    """Anything that can be told a node went down or came back up."""
+
+    def fail_node(self, node_id: int) -> None:
+        """Mark *node_id* failed (drop its traffic, cancel its transmissions)."""
+
+    def recover_node(self, node_id: int) -> None:
+        """Mark *node_id* repaired."""
+
+
+class FailureInjector:
+    """Schedules transient node failures up to a horizon.
+
+    Args:
+        sim: The simulator failures are scheduled on.
+        target: Receiver of ``fail_node`` / ``recover_node`` calls.
+        model: The stochastic failure model.
+        candidates: Node ids eligible to fail.
+        horizon_ms: No new failures are injected after this time (recoveries
+            scheduled before the horizon still happen).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        target: FailureTarget,
+        model: TransientFailureModel,
+        candidates: Sequence[int],
+        horizon_ms: float,
+    ) -> None:
+        if horizon_ms <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon_ms}")
+        self.sim = sim
+        self.target = target
+        self.model = model
+        self.candidates = list(candidates)
+        self.horizon_ms = horizon_ms
+        self.failures_injected = 0
+        self.recoveries_completed = 0
+        self._started = False
+
+    def start(self) -> None:
+        """Begin injecting failures (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        delay = self.model.next_interarrival(self.sim.rng)
+        fire_at = self.sim.now + delay
+        if fire_at >= self.horizon_ms:
+            return
+        self.sim.schedule(delay, self._inject, name="failure.inject")
+
+    def _inject(self) -> None:
+        node_id = self.model.pick_victim(self.sim.rng, self.candidates)
+        duration = self.model.next_repair(self.sim.rng)
+        self.failures_injected += 1
+        self.target.fail_node(node_id)
+        self.sim.schedule(
+            duration,
+            lambda nid=node_id: self._recover(nid),
+            name="failure.recover",
+        )
+        self._schedule_next()
+
+    def _recover(self, node_id: int) -> None:
+        self.recoveries_completed += 1
+        self.target.recover_node(node_id)

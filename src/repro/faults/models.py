@@ -1,0 +1,107 @@
+"""Stochastic failure models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.rng import RandomStreams
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One planned transient failure.
+
+    Attributes:
+        node_id: The node that fails.
+        start_ms: Simulation time at which the failure begins.
+        duration_ms: How long the node stays down before recovering.
+    """
+
+    node_id: int
+    start_ms: float
+    duration_ms: float
+
+    @property
+    def end_ms(self) -> float:
+        """Time at which the node recovers."""
+        return self.start_ms + self.duration_ms
+
+
+class TransientFailureModel:
+    """Exponential failure arrivals with uniformly distributed repair times.
+
+    Table 1 of the paper uses a mean inter-failure time of 50 ms and a mean
+    time to repair of 10 ms; we interpret the repair window as uniform over
+    ``[0.5 * mttr, 1.5 * mttr]`` which preserves the mean.
+
+    Args:
+        mean_interarrival_ms: Mean time between failure events (network-wide).
+        repair_min_ms: Lower bound of the repair-time distribution.
+        repair_max_ms: Upper bound of the repair-time distribution.
+    """
+
+    ARRIVAL_STREAM = "faults.arrival"
+    REPAIR_STREAM = "faults.repair"
+    TARGET_STREAM = "faults.target"
+
+    def __init__(
+        self,
+        mean_interarrival_ms: float = 50.0,
+        repair_min_ms: float = 5.0,
+        repair_max_ms: float = 15.0,
+    ) -> None:
+        if mean_interarrival_ms <= 0:
+            raise ValueError(
+                f"mean inter-arrival must be positive, got {mean_interarrival_ms}"
+            )
+        if repair_min_ms < 0 or repair_max_ms < repair_min_ms:
+            raise ValueError(
+                f"invalid repair window ({repair_min_ms}, {repair_max_ms})"
+            )
+        self.mean_interarrival_ms = mean_interarrival_ms
+        self.repair_min_ms = repair_min_ms
+        self.repair_max_ms = repair_max_ms
+
+    @property
+    def mean_repair_ms(self) -> float:
+        """Mean time to repair implied by the uniform window."""
+        return 0.5 * (self.repair_min_ms + self.repair_max_ms)
+
+    def next_interarrival(self, rng: RandomStreams) -> float:
+        """Draw the time until the next failure."""
+        return rng.exponential(self.ARRIVAL_STREAM, self.mean_interarrival_ms)
+
+    def next_repair(self, rng: RandomStreams) -> float:
+        """Draw a repair duration."""
+        return rng.uniform(self.REPAIR_STREAM, self.repair_min_ms, self.repair_max_ms)
+
+    def pick_victim(self, rng: RandomStreams, candidates) -> int:
+        """Pick which node fails, uniformly among *candidates*."""
+        ordered = sorted(candidates)
+        if not ordered:
+            raise ValueError("no candidate nodes to fail")
+        return rng.choice(self.TARGET_STREAM, ordered)
+
+    def schedule(
+        self, rng: RandomStreams, candidates, horizon_ms: float
+    ) -> list:
+        """Pre-draw the full failure schedule up to *horizon_ms*.
+
+        Returns a list of :class:`FailureEvent` ordered by start time.  Used
+        by tests and by deterministic replay; the online injector draws the
+        same streams lazily.
+        """
+        events = []
+        clock = 0.0
+        while True:
+            clock += self.next_interarrival(rng)
+            if clock >= horizon_ms:
+                break
+            events.append(
+                FailureEvent(
+                    node_id=self.pick_victim(rng, candidates),
+                    start_ms=clock,
+                    duration_ms=self.next_repair(rng),
+                )
+            )
+        return events

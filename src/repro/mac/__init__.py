@@ -1,0 +1,34 @@
+"""MAC-layer delay model.
+
+The paper models the CSMA/CA channel-access delay as ``T_csma = G * n**2``
+where ``n`` is the number of nodes inside the transmission radius used for the
+packet and ``G`` is a proportionality constant (Section 4.1, citing [8][9]).
+On top of the deterministic contention term, the simulation adds a slotted
+random backoff (Table 1: slot time 0.1 ms, 20 slots) so that simultaneous
+transmissions in a zone are de-synchronised, as a real CSMA MAC would do.
+
+The overall per-transmission latency follows the paper's decomposition::
+
+    delay = contention(n) + backoff + size * T_tx + T_proc
+
+where the processing delay ``T_proc`` is charged at the receiver.
+"""
+
+from repro.mac.channel import ChannelReservation
+from repro.mac.contention import (
+    ContentionModel,
+    ExponentialContention,
+    PolynomialContention,
+    QuadraticContention,
+)
+from repro.mac.delay import MacDelayModel, TransmissionTiming
+
+__all__ = [
+    "ChannelReservation",
+    "ContentionModel",
+    "ExponentialContention",
+    "MacDelayModel",
+    "PolynomialContention",
+    "QuadraticContention",
+    "TransmissionTiming",
+]

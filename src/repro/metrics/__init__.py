@@ -1,0 +1,18 @@
+"""Metric collection: energy, end-to-end delay, delivery bookkeeping.
+
+Both protocols are measured through the same collector so the comparisons in
+the experiments cannot be skewed by accounting differences:
+
+* energy is charged through the shared :class:`repro.radio.energy.EnergyLedger`,
+* delay is measured from the moment the *original source* broadcasts the first
+  ADV for a data item to the moment each interested destination receives the
+  DATA packet (Section 5.1.1),
+* delivery bookkeeping records which (item, destination) pairs completed so
+  delivery ratio can be reported for the failure scenarios.
+"""
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.delay import DelayTracker
+from repro.metrics.summary import DistributionSummary, summarize
+
+__all__ = ["DelayTracker", "DistributionSummary", "MetricsCollector", "summarize"]

@@ -1,0 +1,68 @@
+"""Small statistics helpers shared by the metric collectors and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Summary statistics of a sample.
+
+    Attributes:
+        count: Number of observations.
+        mean: Arithmetic mean (0 for an empty sample).
+        minimum: Smallest observation (0 for an empty sample).
+        maximum: Largest observation (0 for an empty sample).
+        stddev: Population standard deviation (0 for fewer than 2 samples).
+        median: 50th percentile (0 for an empty sample).
+    """
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    stddev: float
+    median: float
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of an already sorted sample.
+
+    Args:
+        sorted_values: Sample sorted ascending (must be non-empty).
+        q: Percentile in ``[0, 100]``.
+    """
+    if not sorted_values:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (q / 100.0) * (len(sorted_values) - 1)
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return sorted_values[int(rank)]
+    weight = rank - lower
+    return sorted_values[lower] * (1.0 - weight) + sorted_values[upper] * weight
+
+
+def summarize(values: Iterable[float]) -> DistributionSummary:
+    """Compute :class:`DistributionSummary` for *values*."""
+    data = sorted(values)
+    if not data:
+        return DistributionSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    count = len(data)
+    mean = sum(data) / count
+    variance = sum((x - mean) ** 2 for x in data) / count
+    return DistributionSummary(
+        count=count,
+        mean=mean,
+        minimum=data[0],
+        maximum=data[-1],
+        stddev=math.sqrt(variance),
+        median=percentile(data, 50.0),
+    )

@@ -1,0 +1,17 @@
+"""Mobility models.
+
+The paper's mobility experiment (Section 5.1.3) moves a predefined fraction of
+nodes, chosen at random, at discrete points of the simulation.  After each
+move the routing tables must re-converge before data transmission resumes, and
+the energy of that re-convergence is charged to SPMS.
+
+:class:`~repro.mobility.step.StepMobilityModel` implements exactly that model.
+A continuous random-waypoint variant is provided for completeness
+(:class:`~repro.mobility.waypoint.RandomWaypointModel`) and used by
+robustness tests.
+"""
+
+from repro.mobility.step import MobilityEpoch, StepMobilityModel
+from repro.mobility.waypoint import RandomWaypointModel
+
+__all__ = ["MobilityEpoch", "RandomWaypointModel", "StepMobilityModel"]

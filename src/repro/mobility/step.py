@@ -1,0 +1,87 @@
+"""Step mobility: a fraction of nodes relocates at discrete epochs.
+
+Between epochs the topology is static; an epoch relocates a randomly chosen
+fraction of nodes to random positions inside the field's bounding box (the
+paper: "the nodes which are to move and their destination are chosen
+randomly").  The experiment runner invokes :meth:`StepMobilityModel.apply_epoch`
+between traffic bursts and then rebuilds the routing tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.sim.rng import RandomStreams
+from repro.topology.field import SensorField
+from repro.topology.node import Position
+
+
+@dataclass
+class MobilityEpoch:
+    """Record of one mobility epoch: which nodes moved where."""
+
+    epoch_index: int
+    moved_nodes: List[int] = field(default_factory=list)
+
+
+class StepMobilityModel:
+    """Relocates a fraction of nodes at each epoch.
+
+    Args:
+        field: The sensor field whose node positions are rewritten.
+        move_fraction: Fraction of nodes relocated per epoch (0..1].
+        max_displacement_m: When given, a moved node is displaced by at most
+            this distance rather than teleported anywhere in the field; this
+            keeps the network connected for small fields.
+    """
+
+    SELECT_STREAM = "mobility.select"
+    POSITION_STREAM = "mobility.position"
+
+    def __init__(
+        self,
+        field: SensorField,
+        move_fraction: float = 0.1,
+        max_displacement_m: Optional[float] = None,
+    ) -> None:
+        if not 0.0 < move_fraction <= 1.0:
+            raise ValueError(f"move fraction must be in (0, 1], got {move_fraction}")
+        if max_displacement_m is not None and max_displacement_m <= 0:
+            raise ValueError(
+                f"max displacement must be positive, got {max_displacement_m}"
+            )
+        self.field = field
+        self.move_fraction = move_fraction
+        self.max_displacement_m = max_displacement_m
+        self.epochs: List[MobilityEpoch] = []
+
+    def nodes_per_epoch(self) -> int:
+        """How many nodes move in one epoch (at least one)."""
+        return max(1, round(self.move_fraction * len(self.field)))
+
+    def apply_epoch(self, rng: RandomStreams) -> MobilityEpoch:
+        """Move a random selection of nodes and record the epoch."""
+        count = self.nodes_per_epoch()
+        movers = rng.sample(self.SELECT_STREAM, self.field.node_ids, count)
+        min_x, min_y, max_x, max_y = self.field.bounding_box()
+        epoch = MobilityEpoch(epoch_index=len(self.epochs))
+        for node_id in movers:
+            if self.max_displacement_m is None:
+                new_pos = Position(
+                    rng.uniform(self.POSITION_STREAM, min_x, max_x),
+                    rng.uniform(self.POSITION_STREAM, min_y, max_y),
+                )
+            else:
+                angle = rng.uniform(self.POSITION_STREAM, 0.0, 2.0 * math.pi)
+                radius = rng.uniform(self.POSITION_STREAM, 0.0, self.max_displacement_m)
+                current = self.field.position(node_id)
+                new_pos = Position(
+                    min(max(current.x + radius * math.cos(angle), min_x), max_x),
+                    min(max(current.y + radius * math.sin(angle), min_y), max_y),
+                )
+            self.field.move_node(node_id, new_pos)
+            epoch.moved_nodes.append(node_id)
+        self.epochs.append(epoch)
+        return epoch

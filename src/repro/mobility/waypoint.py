@@ -1,0 +1,98 @@
+"""Random-waypoint mobility (continuous-motion variant).
+
+Not used by the paper's headline experiments, but provided so the library can
+model continuously moving sinks/sources (the scenario motivating protocols
+like SAFE and TTDD discussed in the related-work section) and so robustness
+tests can exercise frequent topology churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.sim.rng import RandomStreams
+from repro.topology.field import SensorField
+from repro.topology.node import Position
+
+
+@dataclass
+class _Waypoint:
+    target: Position
+    speed_m_per_ms: float
+
+
+class RandomWaypointModel:
+    """Each node walks towards a random waypoint at a random speed.
+
+    Positions are advanced lazily by :meth:`advance_to`, which the caller
+    invokes whenever it needs up-to-date positions (e.g. before rebuilding
+    routing tables).
+
+    Args:
+        field: The sensor field to move.
+        min_speed_m_per_ms: Lower bound on node speed.
+        max_speed_m_per_ms: Upper bound on node speed.
+    """
+
+    SPEED_STREAM = "waypoint.speed"
+    TARGET_STREAM = "waypoint.target"
+
+    def __init__(
+        self,
+        field: SensorField,
+        min_speed_m_per_ms: float = 0.001,
+        max_speed_m_per_ms: float = 0.01,
+    ) -> None:
+        if min_speed_m_per_ms <= 0 or max_speed_m_per_ms < min_speed_m_per_ms:
+            raise ValueError(
+                f"invalid speed range ({min_speed_m_per_ms}, {max_speed_m_per_ms})"
+            )
+        self.field = field
+        self.min_speed = min_speed_m_per_ms
+        self.max_speed = max_speed_m_per_ms
+        self._waypoints: Dict[int, _Waypoint] = {}
+        self._last_time_ms = 0.0
+
+    def _new_waypoint(self, rng: RandomStreams) -> _Waypoint:
+        min_x, min_y, max_x, max_y = self.field.bounding_box()
+        target = Position(
+            rng.uniform(self.TARGET_STREAM, min_x, max_x),
+            rng.uniform(self.TARGET_STREAM, min_y, max_y),
+        )
+        speed = rng.uniform(self.SPEED_STREAM, self.min_speed, self.max_speed)
+        return _Waypoint(target=target, speed_m_per_ms=speed)
+
+    def advance_to(self, time_ms: float, rng: RandomStreams) -> int:
+        """Advance every node's position to *time_ms*.
+
+        Returns the number of nodes whose position changed.
+        """
+        if time_ms < self._last_time_ms:
+            raise ValueError("cannot advance the mobility model backwards in time")
+        dt = time_ms - self._last_time_ms
+        self._last_time_ms = time_ms
+        if dt == 0:
+            return 0
+        moved = 0
+        for node_id in self.field.node_ids:
+            waypoint = self._waypoints.get(node_id)
+            if waypoint is None:
+                waypoint = self._new_waypoint(rng)
+                self._waypoints[node_id] = waypoint
+            current = self.field.position(node_id)
+            distance_to_target = current.distance_to(waypoint.target)
+            travel = waypoint.speed_m_per_ms * dt
+            if travel >= distance_to_target:
+                new_position = waypoint.target
+                self._waypoints[node_id] = self._new_waypoint(rng)
+            else:
+                fraction = travel / distance_to_target
+                new_position = Position(
+                    current.x + fraction * (waypoint.target.x - current.x),
+                    current.y + fraction * (waypoint.target.y - current.y),
+                )
+            if new_position != current:
+                self.field.move_node(node_id, new_position)
+                moved += 1
+        return moved

@@ -1,0 +1,43 @@
+"""Radio substrate: transmission power levels, path loss and energy accounting.
+
+The paper's evaluation is parameterised by the MICA2 Berkeley-mote radio
+(Table 1): five discrete transmission power levels with corresponding maximum
+ranges, a per-byte transmission time, and 2-byte control packets versus
+40-byte data packets.  This package encodes that table and provides:
+
+* :class:`~repro.radio.power.PowerLevel` / :data:`~repro.radio.power.MICA2_POWER_TABLE`
+  — the discrete levels and range-to-level selection.
+* :mod:`repro.radio.pathloss` — d^alpha path-loss helpers used by the
+  analytical model and by continuous-power configurations.
+* :class:`~repro.radio.energy.EnergyModel` and
+  :class:`~repro.radio.energy.EnergyLedger` — per-packet TX/RX energy and the
+  per-node / network-wide accounting used by every experiment.
+"""
+
+from repro.radio.energy import EnergyLedger, EnergyModel, TransmissionCost
+from repro.radio.pathloss import (
+    FreeSpacePathLoss,
+    PathLossModel,
+    PowerLawPathLoss,
+    TwoRayGroundPathLoss,
+)
+from repro.radio.power import (
+    MICA2_POWER_TABLE,
+    PowerLevel,
+    PowerTable,
+    build_power_table_for_radius,
+)
+
+__all__ = [
+    "EnergyLedger",
+    "EnergyModel",
+    "FreeSpacePathLoss",
+    "MICA2_POWER_TABLE",
+    "PathLossModel",
+    "PowerLawPathLoss",
+    "PowerLevel",
+    "PowerTable",
+    "TransmissionCost",
+    "TwoRayGroundPathLoss",
+    "build_power_table_for_radius",
+]

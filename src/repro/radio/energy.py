@@ -1,0 +1,161 @@
+"""Per-packet transmission/reception energy and the energy ledger.
+
+Energy model
+------------
+
+A transmission of ``size_bytes`` at power level ``P`` (mW) lasts
+``size_bytes * t_tx_per_byte_ms`` milliseconds and therefore consumes
+``P * size_bytes * t_tx_per_byte_ms`` microjoules (mW x ms = uJ).  Reception
+consumes energy at the receive power, which the paper (citing [16]) equates to
+the lowest transmission power level ``E_m``.
+
+The :class:`EnergyLedger` accumulates per-node and per-category energy so that
+SPIN and SPMS are measured with exactly the same bookkeeping, including the
+energy spent on routing-table formation that the mobility experiments charge
+to SPMS.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.radio.power import PowerLevel, PowerTable
+
+
+@dataclass(frozen=True)
+class TransmissionCost:
+    """Energy and airtime of a single transmission.
+
+    Attributes:
+        energy_uj: Energy drawn from the sender's battery (microjoules).
+        airtime_ms: Time the packet occupies the channel (milliseconds).
+        power_level: The level used for the transmission.
+    """
+
+    energy_uj: float
+    airtime_ms: float
+    power_level: PowerLevel
+
+
+class EnergyModel:
+    """Computes per-packet energy costs from a power table.
+
+    Args:
+        power_table: Discrete transmission power levels.
+        t_tx_per_byte_ms: Transmission time per byte (Table 1: 0.05 ms/byte).
+        rx_power_mw: Power drawn while receiving; defaults to the lowest
+            transmission level's power, following the paper's simplification
+            ``E_r = E_m``.
+    """
+
+    def __init__(
+        self,
+        power_table: PowerTable,
+        t_tx_per_byte_ms: float = 0.05,
+        rx_power_mw: Optional[float] = None,
+    ) -> None:
+        if t_tx_per_byte_ms <= 0:
+            raise ValueError(f"t_tx_per_byte_ms must be positive, got {t_tx_per_byte_ms}")
+        self.power_table = power_table
+        self.t_tx_per_byte_ms = t_tx_per_byte_ms
+        self.rx_power_mw = (
+            power_table.min_level.power_mw if rx_power_mw is None else rx_power_mw
+        )
+        if self.rx_power_mw < 0:
+            raise ValueError(f"rx power must be non-negative, got {self.rx_power_mw}")
+
+    def airtime_ms(self, size_bytes: int) -> float:
+        """Time on air for a packet of *size_bytes*."""
+        if size_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {size_bytes}")
+        return size_bytes * self.t_tx_per_byte_ms
+
+    def tx_cost(self, size_bytes: int, level: PowerLevel) -> TransmissionCost:
+        """Energy/airtime to transmit *size_bytes* at *level*."""
+        airtime = self.airtime_ms(size_bytes)
+        return TransmissionCost(
+            energy_uj=level.power_mw * airtime,
+            airtime_ms=airtime,
+            power_level=level,
+        )
+
+    def tx_cost_for_distance(self, size_bytes: int, distance_m: float) -> TransmissionCost:
+        """Energy/airtime using the lowest-power level that reaches *distance_m*."""
+        level = self.power_table.level_for_distance(distance_m)
+        return self.tx_cost(size_bytes, level)
+
+    def tx_cost_max_power(self, size_bytes: int) -> TransmissionCost:
+        """Energy/airtime transmitting at the maximum power level (SPIN's mode)."""
+        return self.tx_cost(size_bytes, self.power_table.max_level)
+
+    def rx_cost(self, size_bytes: int) -> float:
+        """Energy to receive a packet of *size_bytes* (microjoules)."""
+        return self.rx_power_mw * self.airtime_ms(size_bytes)
+
+
+class EnergyLedger:
+    """Accumulates energy usage per node and per accounting category.
+
+    Categories used by the protocols:
+
+    * ``"tx"`` — data/control transmissions,
+    * ``"rx"`` — receptions,
+    * ``"routing"`` — distributed Bellman-Ford table formation and maintenance.
+    """
+
+    def __init__(self) -> None:
+        self._per_node: Dict[int, float] = defaultdict(float)
+        self._per_category: Dict[str, float] = defaultdict(float)
+        self._per_node_category: Dict[tuple, float] = defaultdict(float)
+
+    def charge(self, node_id: int, energy_uj: float, category: str = "tx") -> None:
+        """Add *energy_uj* to *node_id* under *category*."""
+        if energy_uj < 0:
+            raise ValueError(f"energy must be non-negative, got {energy_uj}")
+        self._per_node[node_id] += energy_uj
+        self._per_category[category] += energy_uj
+        self._per_node_category[(node_id, category)] += energy_uj
+
+    def node_total(self, node_id: int) -> float:
+        """Total energy consumed by *node_id*."""
+        return self._per_node.get(node_id, 0.0)
+
+    def category_total(self, category: str) -> float:
+        """Total energy consumed network-wide under *category*."""
+        return self._per_category.get(category, 0.0)
+
+    def node_category_total(self, node_id: int, category: str) -> float:
+        """Energy consumed by *node_id* under *category*."""
+        return self._per_node_category.get((node_id, category), 0.0)
+
+    @property
+    def total(self) -> float:
+        """Network-wide total energy consumed."""
+        return sum(self._per_node.values())
+
+    @property
+    def per_node(self) -> Dict[int, float]:
+        """Copy of the per-node totals."""
+        return dict(self._per_node)
+
+    @property
+    def per_category(self) -> Dict[str, float]:
+        """Copy of the per-category totals."""
+        return dict(self._per_category)
+
+    def merge(self, other: "EnergyLedger") -> None:
+        """Fold another ledger's totals into this one."""
+        for node_id, value in other._per_node.items():
+            self._per_node[node_id] += value
+        for category, value in other._per_category.items():
+            self._per_category[category] += value
+        for key, value in other._per_node_category.items():
+            self._per_node_category[key] += value
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._per_node.clear()
+        self._per_category.clear()
+        self._per_node_category.clear()

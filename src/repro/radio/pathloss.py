@@ -1,0 +1,87 @@
+"""Path-loss models.
+
+The paper's analysis assumes transmission energy proportional to ``d**alpha``
+with ``alpha`` between 2 and 4, and uses ``alpha = 3.5`` (two-ray ground
+beyond ~7 m) for the Section-4 energy comparison.  These models are used by
+the analytical module and by :func:`repro.radio.power.build_power_table_for_radius`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class PathLossModel(ABC):
+    """Maps a link distance to the relative power required to cover it."""
+
+    @abstractmethod
+    def required_power(self, distance_m: float) -> float:
+        """Relative transmit power (arbitrary units) needed to reach *distance_m*."""
+
+    def energy_ratio(self, distance_a: float, distance_b: float) -> float:
+        """Ratio of the power needed for *distance_a* to that for *distance_b*."""
+        denominator = self.required_power(distance_b)
+        if denominator == 0:
+            raise ZeroDivisionError("reference distance requires zero power")
+        return self.required_power(distance_a) / denominator
+
+
+class PowerLawPathLoss(PathLossModel):
+    """Generic ``d**alpha`` model.
+
+    Args:
+        alpha: Path-loss exponent, typically in ``[2, 4]``.
+        reference_power: Power required at unit distance.
+    """
+
+    def __init__(self, alpha: float = 3.5, reference_power: float = 1.0) -> None:
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        if reference_power <= 0:
+            raise ValueError(f"reference power must be positive, got {reference_power}")
+        self.alpha = alpha
+        self.reference_power = reference_power
+
+    def required_power(self, distance_m: float) -> float:
+        if distance_m < 0:
+            raise ValueError(f"distance must be non-negative, got {distance_m}")
+        return self.reference_power * distance_m**self.alpha
+
+
+class FreeSpacePathLoss(PowerLawPathLoss):
+    """Free-space model: ``alpha = 2``."""
+
+    def __init__(self, reference_power: float = 1.0) -> None:
+        super().__init__(alpha=2.0, reference_power=reference_power)
+
+
+class TwoRayGroundPathLoss(PathLossModel):
+    """Piecewise model: free space up to a crossover distance, then ``d**3.5``.
+
+    The paper cites the two-ray ground model with ``alpha`` close to 3.5
+    beyond roughly 7 metres; below the crossover we fall back to free space.
+    """
+
+    def __init__(
+        self,
+        crossover_m: float = 7.0,
+        reference_power: float = 1.0,
+        far_alpha: float = 3.5,
+    ) -> None:
+        if crossover_m <= 0:
+            raise ValueError(f"crossover must be positive, got {crossover_m}")
+        self.crossover_m = crossover_m
+        self.reference_power = reference_power
+        self.far_alpha = far_alpha
+        self._near = PowerLawPathLoss(alpha=2.0, reference_power=reference_power)
+        # Match the two segments at the crossover so the model is continuous.
+        near_at_crossover = self._near.required_power(crossover_m)
+        far_reference = near_at_crossover / crossover_m**far_alpha
+        self._far = PowerLawPathLoss(alpha=far_alpha, reference_power=far_reference)
+
+    def required_power(self, distance_m: float) -> float:
+        if distance_m < 0:
+            raise ValueError(f"distance must be non-negative, got {distance_m}")
+        if distance_m <= self.crossover_m:
+            return self._near.required_power(distance_m)
+        return self._far.required_power(distance_m)

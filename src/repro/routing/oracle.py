@@ -1,0 +1,76 @@
+"""Centralized routing oracle.
+
+Computes the same minimum-power routes as the distributed Bellman-Ford but
+with a global Dijkstra per node.  Used by the test-suite to validate the
+distributed computation and by experiments that do not need to charge routing
+energy (e.g. quick examples).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+import networkx as nx
+
+from repro.radio.power import PowerTable
+from repro.routing.table import RouteCandidate, RoutingTable
+from repro.topology.field import SensorField
+from repro.topology.zone import ZoneMap
+
+
+def _build_global_graph(
+    field: SensorField,
+    power_table: PowerTable,
+    exclude_nodes: Set[int],
+) -> nx.Graph:
+    graph = nx.Graph()
+    ids = [n for n in field.node_ids if n not in exclude_nodes]
+    graph.add_nodes_from(ids)
+    for i, a in enumerate(ids):
+        for b in ids[i + 1 :]:
+            distance = field.distance(a, b)
+            if distance <= power_table.max_range_m + 1e-9:
+                weight = power_table.level_for_distance(distance).power_mw
+                graph.add_edge(a, b, weight=weight)
+    return graph
+
+
+def centralized_routes(
+    field: SensorField,
+    power_table: PowerTable,
+    zone_map: ZoneMap,
+    exclude_nodes: Optional[Set[int]] = None,
+) -> Dict[int, RoutingTable]:
+    """Compute per-node routing tables with a centralized shortest-path solver.
+
+    For each node the stored destinations are its zone neighbours, matching
+    the state kept by the distributed algorithm.  Candidates include, for each
+    direct neighbour, the cost of the best path whose first hop is that
+    neighbour, so primary and backup next hops agree with the DBF tables.
+    """
+    exclude = set(exclude_nodes or ())
+    graph = _build_global_graph(field, power_table, exclude)
+    tables: Dict[int, RoutingTable] = {}
+    # Single-source Dijkstra from every node gives distance dicts reused below.
+    distances = {
+        node: nx.single_source_dijkstra_path_length(graph, node, weight="weight")
+        for node in graph.nodes
+    }
+    for node in graph.nodes:
+        table = RoutingTable(node)
+        neighbors = {nb: graph.edges[node, nb]["weight"] for nb in graph.neighbors(node)}
+        for dest in zone_map.zone_neighbors(node):
+            if dest in exclude or dest not in graph.nodes:
+                continue
+            candidates = []
+            for nb, link in neighbors.items():
+                if nb == dest:
+                    candidates.append(RouteCandidate(next_hop=nb, cost=link))
+                    continue
+                through = distances[nb].get(dest)
+                if through is not None:
+                    candidates.append(RouteCandidate(next_hop=nb, cost=link + through))
+            if candidates:
+                table.set_candidates(dest, candidates)
+        tables[node] = table
+    return tables

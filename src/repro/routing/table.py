@@ -1,0 +1,101 @@
+"""Per-node routing tables.
+
+The paper keeps, for every destination in the zone, the cost of reaching it
+through *each* direct neighbour; the best neighbour is the primary next hop
+and the second best is the backup that tolerates one concurrent failure
+(Section 3.2 and 5.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+
+@dataclass(frozen=True)
+class RouteCandidate:
+    """One way of reaching a destination.
+
+    Attributes:
+        next_hop: The direct neighbour the packet is handed to first.
+        cost: Total path cost (sum of per-hop minimum transmit powers).
+    """
+
+    next_hop: int
+    cost: float
+
+
+class RoutingTable:
+    """Routes from one node to every destination it maintains state for."""
+
+    def __init__(self, owner: int) -> None:
+        self.owner = owner
+        self._routes: Dict[int, List[RouteCandidate]] = {}
+
+    # --------------------------------------------------------------- building
+
+    def set_candidates(self, destination: int, candidates: Iterable[RouteCandidate]) -> None:
+        """Replace the candidate list for *destination* (sorted by cost)."""
+        if destination == self.owner:
+            raise ValueError("a node does not keep a route to itself")
+        ordered = sorted(candidates, key=lambda c: (c.cost, c.next_hop))
+        if ordered:
+            self._routes[destination] = ordered
+        else:
+            self._routes.pop(destination, None)
+
+    def clear(self) -> None:
+        """Drop every route (used when the topology changes)."""
+        self._routes.clear()
+
+    # ---------------------------------------------------------------- queries
+
+    @property
+    def destinations(self) -> Set[int]:
+        """Destinations this table has at least one route for."""
+        return set(self._routes)
+
+    def has_route(self, destination: int) -> bool:
+        """Whether any route to *destination* is known."""
+        return destination in self._routes
+
+    def candidates(self, destination: int) -> List[RouteCandidate]:
+        """All candidate routes to *destination*, cheapest first."""
+        return list(self._routes.get(destination, []))
+
+    def next_hop(self, destination: int, exclude: Optional[Set[int]] = None) -> Optional[int]:
+        """Best next hop towards *destination*, skipping nodes in *exclude*.
+
+        Returns ``None`` if no (non-excluded) route exists.
+        """
+        exclude = exclude or set()
+        for candidate in self._routes.get(destination, []):
+            if candidate.next_hop not in exclude:
+                return candidate.next_hop
+        return None
+
+    def cost(self, destination: int, exclude: Optional[Set[int]] = None) -> Optional[float]:
+        """Cost of the best (non-excluded) route to *destination*."""
+        exclude = exclude or set()
+        for candidate in self._routes.get(destination, []):
+            if candidate.next_hop not in exclude:
+                return candidate.cost
+        return None
+
+    def backup_next_hop(self, destination: int) -> Optional[int]:
+        """The second-best next hop (distinct from the primary), if any."""
+        candidates = self._routes.get(destination, [])
+        if len(candidates) < 2:
+            return None
+        primary = candidates[0].next_hop
+        for candidate in candidates[1:]:
+            if candidate.next_hop != primary:
+                return candidate.next_hop
+        return None
+
+    def entry_count(self) -> int:
+        """Total number of stored candidates (used for state-size metrics)."""
+        return sum(len(c) for c in self._routes.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RoutingTable(owner={self.owner}, destinations={sorted(self._routes)})"

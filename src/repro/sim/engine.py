@@ -1,0 +1,190 @@
+"""The discrete-event simulation loop.
+
+:class:`Simulator` owns the event calendar, the simulation clock and the named
+random streams.  Protocol code never advances the clock directly; it only
+schedules callbacks relative to ``now``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import RandomStreams
+from repro.sim.tracing import TraceLog
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation is driven into an invalid state."""
+
+
+class Simulator:
+    """Event-driven simulation engine.
+
+    Args:
+        seed: Master seed for all named random streams.
+        trace: When true, every fired event is appended to :attr:`trace_log`.
+
+    Example:
+        >>> sim = Simulator(seed=1)
+        >>> fired = []
+        >>> _ = sim.schedule(5.0, lambda: fired.append(sim.now))
+        >>> sim.run()
+        >>> fired
+        [5.0]
+    """
+
+    def __init__(self, seed: int = 0, trace: bool = False) -> None:
+        self._now = 0.0
+        self._queue = EventQueue()
+        self._running = False
+        self._stopped = False
+        self._events_processed = 0
+        self.rng = RandomStreams(seed)
+        self.trace_enabled = trace
+        self.trace_log = TraceLog()
+
+    # ------------------------------------------------------------------ clock
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events fired so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still in the calendar."""
+        return len(self._queue)
+
+    # -------------------------------------------------------------- scheduling
+
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[[], None],
+        name: str = "",
+        payload: Any = None,
+    ) -> Event:
+        """Schedule *action* to run ``delay`` time units from now.
+
+        Args:
+            delay: Non-negative offset from the current simulation time.
+            action: Zero-argument callable.
+            name: Optional label for traces.
+            payload: Optional data attached to the event.
+
+        Returns:
+            The scheduled :class:`Event`, which can be cancelled.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        event = Event(time=self._now + delay, action=action, name=name, payload=payload)
+        return self._queue.push(event)
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[[], None],
+        name: str = "",
+        payload: Any = None,
+    ) -> Event:
+        """Schedule *action* at absolute simulation time *time*."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule into the past (time={time}, now={self._now})"
+            )
+        event = Event(time=time, action=action, name=name, payload=payload)
+        return self._queue.push(event)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        self._queue.cancel(event)
+
+    # ------------------------------------------------------------------- run
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> float:
+        """Run the event loop.
+
+        Args:
+            until: Stop once the clock would pass this time (events exactly at
+                ``until`` still fire).
+            max_events: Safety limit on the number of events to process.
+            stop_when: Predicate evaluated after every event; the loop stops
+                as soon as it returns true.
+
+        Returns:
+            The simulation time when the loop stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        self._stopped = False
+        processed_this_run = 0
+        try:
+            while True:
+                if self._stopped:
+                    break
+                if max_events is not None and processed_this_run >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                event = self._queue.pop()
+                if event is None:
+                    break
+                if event.time < self._now:
+                    raise SimulationError(
+                        f"event calendar corrupted: event at {event.time} "
+                        f"earlier than now={self._now}"
+                    )
+                self._now = event.time
+                event.fire()
+                self._events_processed += 1
+                processed_this_run += 1
+                if self.trace_enabled:
+                    self.trace_log.record(
+                        self._now, "event", event.name or "anonymous", event.payload
+                    )
+                if stop_when is not None and stop_when():
+                    break
+        finally:
+            self._running = False
+        return self._now
+
+    def step(self) -> bool:
+        """Process exactly one event.  Returns False when the calendar is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._now = event.time
+        event.fire()
+        self._events_processed += 1
+        if self.trace_enabled:
+            self.trace_log.record(
+                self._now, "event", event.name or "anonymous", event.payload
+            )
+        return True
+
+    def stop(self) -> None:
+        """Request the running loop to stop after the current event."""
+        self._stopped = True
+
+    def reset(self) -> None:
+        """Clear the calendar and rewind the clock (random streams keep state)."""
+        self._queue.clear()
+        self._now = 0.0
+        self._events_processed = 0
+        self._stopped = False

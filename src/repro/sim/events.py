@@ -1,0 +1,113 @@
+"""Event calendar primitives for the discrete-event kernel.
+
+An :class:`Event` is a scheduled callback with a firing time.  The
+:class:`EventQueue` is a binary heap keyed on ``(time, sequence)`` so that two
+events scheduled for the same simulated time fire in the order they were
+scheduled (FIFO tie-breaking), which keeps protocol traces deterministic.
+
+Cancellation is *lazy*: cancelled events stay in the heap but are skipped when
+popped.  This keeps cancellation O(1) which matters because the SPMS protocol
+cancels a large number of ``tau_ADV`` timers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=False)
+class Event:
+    """A single scheduled occurrence in simulated time.
+
+    Attributes:
+        time: Absolute simulation time at which the event fires.
+        action: Zero-argument callable invoked when the event fires.
+        name: Optional human-readable label used in traces and error messages.
+        payload: Optional arbitrary data carried for inspection/debugging.
+    """
+
+    time: float
+    action: Callable[[], None]
+    name: str = ""
+    payload: Any = None
+    sequence: int = field(default=-1, compare=False)
+    _cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when its firing time arrives."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event has been cancelled."""
+        return self._cancelled
+
+    def fire(self) -> None:
+        """Invoke the event's action (does nothing if cancelled)."""
+        if not self._cancelled:
+            self.action()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else "pending"
+        label = self.name or getattr(self.action, "__name__", "<callable>")
+        return f"Event(t={self.time:.6f}, {label}, {state})"
+
+
+class EventQueue:
+    """Binary-heap event calendar with FIFO tie-breaking.
+
+    The queue assigns each pushed event a monotonically increasing sequence
+    number; the heap is ordered by ``(time, sequence)``.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events.  O(n); intended for tests
+        and diagnostics, not for hot paths."""
+        return sum(1 for _, _, event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None
+
+    def push(self, event: Event) -> Event:
+        """Insert *event* into the calendar and return it."""
+        if event.time < 0:
+            raise ValueError(f"event time must be non-negative, got {event.time}")
+        event.sequence = next(self._counter)
+        heapq.heappush(self._heap, (event.time, event.sequence, event))
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event.
+
+        Returns ``None`` when no live events remain.  Cancelled events found
+        on the way are discarded silently.
+        """
+        while self._heap:
+            _, _, event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the earliest live event, or ``None``."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def cancel(self, event: Event) -> None:
+        """Cancel *event*; alias for ``event.cancel()`` kept for symmetry with
+        :meth:`push`."""
+        event.cancel()
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()

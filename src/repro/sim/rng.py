@@ -1,0 +1,67 @@
+"""Named, independently seeded random streams.
+
+Stochastic processes in the simulation (packet arrivals, failure arrivals,
+repair durations, MAC backoff, mobility) each draw from their own stream so
+that changing e.g. the failure seed does not perturb the workload.  Streams
+are derived deterministically from a master seed and the stream name, so a
+``(seed, name)`` pair always yields the same sequence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+class RandomStreams:
+    """Factory and registry of named :class:`random.Random` streams."""
+
+    def __init__(self, master_seed: int = 0) -> None:
+        self.master_seed = int(master_seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream registered under *name*, creating it on first use."""
+        if name not in self._streams:
+            self._streams[name] = random.Random(self._derive_seed(name))
+        return self._streams[name]
+
+    def _derive_seed(self, name: str) -> int:
+        digest = hashlib.sha256(f"{self.master_seed}:{name}".encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    # Convenience draws -----------------------------------------------------
+
+    def exponential(self, name: str, mean: float) -> float:
+        """Draw from an exponential distribution with the given *mean*."""
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        return self.stream(name).expovariate(1.0 / mean)
+
+    def uniform(self, name: str, low: float, high: float) -> float:
+        """Draw uniformly from ``[low, high]``."""
+        if high < low:
+            raise ValueError(f"invalid uniform bounds ({low}, {high})")
+        return self.stream(name).uniform(low, high)
+
+    def randint(self, name: str, low: int, high: int) -> int:
+        """Draw an integer uniformly from ``[low, high]`` inclusive."""
+        return self.stream(name).randint(low, high)
+
+    def choice(self, name: str, items):
+        """Pick one element of *items* uniformly at random."""
+        return self.stream(name).choice(items)
+
+    def sample(self, name: str, items, k: int):
+        """Sample *k* distinct elements of *items*."""
+        return self.stream(name).sample(items, k)
+
+    def random(self, name: str) -> float:
+        """Draw a float uniformly from ``[0, 1)``."""
+        return self.stream(name).random()
+
+    def reset(self) -> None:
+        """Re-seed every existing stream back to its initial state."""
+        for name in list(self._streams):
+            self._streams[name] = random.Random(self._derive_seed(name))

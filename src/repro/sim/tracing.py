@@ -1,0 +1,83 @@
+"""Structured trace log for simulation runs.
+
+Traces are lists of :class:`TraceRecord` entries.  They are primarily used by
+the test-suite to assert on protocol behaviour (e.g. "the destination sent its
+REQ to the SCONE after ``tau_DAT`` expired") without coupling tests to internal
+state, and by the examples to print readable timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """A single trace entry.
+
+    Attributes:
+        time: Simulation time of the record.
+        category: Coarse grouping, e.g. ``"packet"``, ``"timer"``, ``"failure"``.
+        label: Short description, e.g. ``"ADV A->broadcast"``.
+        detail: Arbitrary structured payload.
+    """
+
+    time: float
+    category: str
+    label: str
+    detail: Any = None
+
+
+class TraceLog:
+    """Append-only list of :class:`TraceRecord` with simple query helpers."""
+
+    def __init__(self) -> None:
+        self._records: List[TraceRecord] = []
+
+    def record(self, time: float, category: str, label: str, detail: Any = None) -> None:
+        """Append a record."""
+        self._records.append(TraceRecord(time, category, label, detail))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self._records[index]
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """The underlying record list (do not mutate)."""
+        return self._records
+
+    def filter(
+        self,
+        category: Optional[str] = None,
+        label_contains: Optional[str] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> List[TraceRecord]:
+        """Return records matching all supplied criteria."""
+        out = []
+        for rec in self._records:
+            if category is not None and rec.category != category:
+                continue
+            if label_contains is not None and label_contains not in rec.label:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self._records.clear()
+
+    def format(self, limit: Optional[int] = None) -> str:
+        """Human-readable multi-line rendering (used by examples)."""
+        rows = self._records if limit is None else self._records[:limit]
+        return "\n".join(
+            f"[{rec.time:10.4f}] {rec.category:<8} {rec.label}" for rec in rows
+        )

@@ -1,0 +1,39 @@
+"""Node identity and position."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Position:
+    """A point in the 2-D sensor field (metres)."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Position") -> float:
+        """Euclidean distance to *other*."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def moved_by(self, dx: float, dy: float) -> "Position":
+        """A new position displaced by ``(dx, dy)``."""
+        return Position(self.x + dx, self.y + dy)
+
+
+@dataclass
+class NodeInfo:
+    """Static identity and (mutable) position of a sensor node.
+
+    Attributes:
+        node_id: Unique integer identifier.
+        position: Current location in the field; mobility updates it.
+    """
+
+    node_id: int
+    position: Position
+
+    def distance_to(self, other: "NodeInfo") -> float:
+        """Euclidean distance to another node."""
+        return self.position.distance_to(other.position)

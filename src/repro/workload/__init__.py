@@ -1,0 +1,32 @@
+"""Workload generators: who produces data, when, and who wants it.
+
+Two communication patterns from the paper's evaluation:
+
+* **all-to-all** (Section 5.1) — each node generates a fixed number of new
+  data items with Poisson arrivals and every other node is interested;
+* **cluster-based hierarchical** (Section 5.2) — cluster heads collect the
+  data produced in their cluster, and other nodes in the source's zone are
+  interested with 5 % probability.
+
+A workload produces a list of :class:`~repro.workload.base.ScheduledItem`
+(origination time, source, item, interested destinations) and the matching
+:class:`~repro.core.interests.InterestModel`; the experiment runner schedules
+the originations on the simulator and registers the expected deliveries with
+the metrics collector.
+"""
+
+from repro.workload.all_to_all import AllToAllWorkload
+from repro.workload.base import ScheduledItem, Workload
+from repro.workload.cluster import ClusterWorkload, select_cluster_heads
+from repro.workload.poisson import PoissonArrivals
+from repro.workload.single_pair import SinglePairWorkload
+
+__all__ = [
+    "AllToAllWorkload",
+    "ClusterWorkload",
+    "PoissonArrivals",
+    "ScheduledItem",
+    "SinglePairWorkload",
+    "Workload",
+    "select_cluster_heads",
+]

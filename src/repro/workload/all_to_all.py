@@ -1,0 +1,86 @@
+"""All-to-all communication workload (Section 5.1).
+
+Each node generates ``packets_per_node`` new data items; every other node in
+the network is interested in every item.  Originations arrive as a Poisson
+process over the whole network (Table 1: one arrival per millisecond) with the
+producing node rotating round-robin through a shuffled node order, so sources
+are spread evenly over time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.interests import AllInterested, InterestModel
+from repro.core.metadata import DataDescriptor, DataItem
+from repro.sim.rng import RandomStreams
+from repro.workload.base import ScheduledItem, Workload
+from repro.workload.poisson import PoissonArrivals
+
+
+class AllToAllWorkload(Workload):
+    """Every node produces data; everyone else wants it.
+
+    Args:
+        node_ids: Participating nodes.
+        packets_per_node: Items each node originates (the paper uses 10).
+        data_size_bytes: DATA payload size (Table 1: 40 bytes).
+        arrivals: Arrival process; defaults to Poisson with 1 ms mean gap.
+    """
+
+    SHUFFLE_STREAM = "workload.all_to_all.shuffle"
+
+    def __init__(
+        self,
+        node_ids: Sequence[int],
+        packets_per_node: int = 10,
+        data_size_bytes: int = 40,
+        arrivals: PoissonArrivals | None = None,
+    ) -> None:
+        if not node_ids:
+            raise ValueError("the workload needs at least one node")
+        if packets_per_node < 1:
+            raise ValueError(f"packets per node must be positive, got {packets_per_node}")
+        if data_size_bytes <= 0:
+            raise ValueError(f"data size must be positive, got {data_size_bytes}")
+        self.node_ids = list(node_ids)
+        self.packets_per_node = packets_per_node
+        self.data_size_bytes = data_size_bytes
+        self.arrivals = arrivals if arrivals is not None else PoissonArrivals()
+        self._interest = AllInterested()
+
+    @property
+    def expected_items(self) -> int:
+        """Total number of items the workload originates."""
+        return len(self.node_ids) * self.packets_per_node
+
+    def interest_model(self) -> InterestModel:
+        """All-to-all interest: everybody wants everything they did not make."""
+        return self._interest
+
+    def generate(self, rng: RandomStreams) -> List[ScheduledItem]:
+        """Build the origination schedule."""
+        total = self.expected_items
+        times = self.arrivals.times(total, rng)
+        # Rotate through a shuffled source order so consecutive originations
+        # come from different parts of the field.
+        order = list(self.node_ids)
+        rng.stream(self.SHUFFLE_STREAM).shuffle(order)
+        schedule: List[ScheduledItem] = []
+        per_node_counter = {node_id: 0 for node_id in self.node_ids}
+        for index, time_ms in enumerate(times):
+            source = order[index % len(order)]
+            sequence = per_node_counter[source]
+            per_node_counter[source] += 1
+            descriptor = DataDescriptor(name=f"item/src{source}/seq{sequence}")
+            item = DataItem(
+                descriptor=descriptor,
+                source=source,
+                size_bytes=self.data_size_bytes,
+                created_at_ms=time_ms,
+            )
+            interested = [n for n in self.node_ids if n != source]
+            schedule.append(
+                ScheduledItem(time_ms=time_ms, source=source, item=item, interested=interested)
+            )
+        return schedule

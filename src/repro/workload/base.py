@@ -1,0 +1,49 @@
+"""Workload base types."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.interests import InterestModel
+from repro.core.metadata import DataItem
+from repro.sim.rng import RandomStreams
+
+
+@dataclass(frozen=True)
+class ScheduledItem:
+    """One planned data origination.
+
+    Attributes:
+        time_ms: Simulation time at which the source produces the item.
+        source: Producing node.
+        item: The data item (its ``created_at_ms`` matches ``time_ms``).
+        interested: Destinations expected to obtain the item.
+    """
+
+    time_ms: float
+    source: int
+    item: DataItem
+    interested: List[int]
+
+
+class Workload(ABC):
+    """A traffic pattern: originations plus the matching interest model."""
+
+    @abstractmethod
+    def generate(self, rng: RandomStreams) -> List[ScheduledItem]:
+        """Produce the full origination schedule (sorted by time)."""
+
+    @abstractmethod
+    def interest_model(self) -> InterestModel:
+        """The interest model protocol nodes should consult.
+
+        For workloads whose interests depend on the generated schedule (the
+        cluster workload), :meth:`generate` must be called first.
+        """
+
+    @property
+    def expected_items(self) -> int:
+        """Number of data items the workload will originate (if known)."""
+        raise NotImplementedError

@@ -1,0 +1,48 @@
+"""Poisson arrival process for new data items."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.rng import RandomStreams
+
+
+class PoissonArrivals:
+    """Generates arrival times with exponential inter-arrival gaps.
+
+    Table 1 gives a packet-arrival rate of 1 per millisecond network-wide;
+    the default mean inter-arrival therefore is 1 ms.
+
+    Args:
+        mean_interarrival_ms: Mean gap between consecutive originations.
+        start_ms: Time of the first possible arrival (gaps accumulate from
+            this offset).
+        stream: Name of the random stream to draw from.
+    """
+
+    def __init__(
+        self,
+        mean_interarrival_ms: float = 1.0,
+        start_ms: float = 0.0,
+        stream: str = "workload.arrivals",
+    ) -> None:
+        if mean_interarrival_ms <= 0:
+            raise ValueError(
+                f"mean inter-arrival must be positive, got {mean_interarrival_ms}"
+            )
+        if start_ms < 0:
+            raise ValueError(f"start time must be non-negative, got {start_ms}")
+        self.mean_interarrival_ms = mean_interarrival_ms
+        self.start_ms = start_ms
+        self.stream = stream
+
+    def times(self, count: int, rng: RandomStreams) -> List[float]:
+        """Generate *count* strictly increasing arrival times."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        clock = self.start_ms
+        arrivals = []
+        for _ in range(count):
+            clock += rng.exponential(self.stream, self.mean_interarrival_ms)
+            arrivals.append(clock)
+        return arrivals

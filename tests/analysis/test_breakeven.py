@@ -1,0 +1,35 @@
+"""Tests for the mobility break-even computation."""
+
+import math
+
+import pytest
+
+from repro.analysis.breakeven import breakeven_packets
+
+
+class TestBreakeven:
+    def test_basic_ratio(self):
+        # 1000 uJ of routing overhead amortised by 10 uJ/packet saving.
+        assert breakeven_packets(1000.0, 30.0, 20.0) == pytest.approx(100.0)
+
+    def test_paper_magnitude_is_reachable(self):
+        """With per-packet savings and rebuild costs in the range our
+        simulations produce, the break-even lands in the same order of
+        magnitude as the paper's 239.18 packets."""
+        value = breakeven_packets(3000.0, 35.0, 22.5)
+        assert 100.0 < value < 1000.0
+
+    def test_no_saving_means_never(self):
+        assert breakeven_packets(100.0, 10.0, 10.0) == math.inf
+        assert breakeven_packets(100.0, 10.0, 12.0) == math.inf
+
+    def test_zero_overhead_is_immediate(self):
+        assert breakeven_packets(0.0, 10.0, 5.0) == 0.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            breakeven_packets(-1.0, 10.0, 5.0)
+        with pytest.raises(ValueError):
+            breakeven_packets(1.0, -10.0, 5.0)
+        with pytest.raises(ValueError):
+            breakeven_packets(1.0, 10.0, -5.0)

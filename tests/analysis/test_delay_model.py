@@ -1,0 +1,129 @@
+"""Tests for the Section 4.1 analytical delay model."""
+
+import pytest
+
+from repro.analysis.delay_model import (
+    AnalysisParameters,
+    delay_ratio,
+    delay_ratio_series,
+    recommended_tout_adv,
+    spin_delay_failure_free,
+    spms_delay_failure_free,
+    spms_delay_k_relays,
+    spms_delay_no_relay_request,
+    spms_delay_relay_fails_after_adv,
+    spms_delay_relay_fails_before_adv,
+    spms_delay_two_hop_relay_requests,
+    spms_round_time,
+)
+
+
+class TestPaperWorkedExample:
+    """The paper's sample values must give Delay_SPIN : Delay_SPMS = 2.7865."""
+
+    def test_spin_delay_value(self):
+        params = AnalysisParameters()
+        # 3 * 0.01 * 45^2 + 32 * 0.05 + 2 * 0.02
+        assert spin_delay_failure_free(params) == pytest.approx(62.39)
+
+    def test_spms_delay_value(self):
+        params = AnalysisParameters()
+        # 0.01 * 45^2 + 2 * 0.01 * 5^2 + 32 * 0.05 + 2 * 0.02
+        assert spms_delay_failure_free(params) == pytest.approx(22.39)
+
+    def test_ratio_matches_paper(self):
+        assert delay_ratio(AnalysisParameters()) == pytest.approx(2.7865, abs=1e-3)
+
+
+class TestStructuralProperties:
+    def test_spms_never_slower_in_the_analytical_model(self):
+        params = AnalysisParameters()
+        assert spms_delay_failure_free(params) <= spin_delay_failure_free(params)
+
+    def test_equal_populations_make_protocols_equal(self):
+        params = AnalysisParameters(n1=5, ns=5)
+        assert delay_ratio(params) == pytest.approx(1.0)
+
+    def test_ratio_grows_with_zone_population(self):
+        small = delay_ratio(AnalysisParameters(n1=10))
+        large = delay_ratio(AnalysisParameters(n1=100))
+        assert large > small
+
+    def test_ratio_bounded_by_three(self):
+        # SPIN pays 3 max-power accesses per exchange, SPMS at least one, so
+        # the single-hop ratio can never exceed 3.
+        assert delay_ratio(AnalysisParameters(n1=10_000)) < 3.0
+
+    def test_round_time_equals_single_hop_delay(self):
+        params = AnalysisParameters()
+        assert spms_round_time(params) == spms_delay_failure_free(params)
+
+    def test_two_hop_case_is_two_rounds(self):
+        params = AnalysisParameters()
+        assert spms_delay_two_hop_relay_requests(params) == pytest.approx(
+            2 * spms_round_time(params)
+        )
+
+    def test_no_relay_request_pays_timeout(self):
+        params = AnalysisParameters()
+        assert spms_delay_no_relay_request(params) > spms_delay_failure_free(params)
+        assert spms_delay_no_relay_request(params) >= params.tout_adv
+
+    def test_k_relays_monotone_in_k(self):
+        params = AnalysisParameters()
+        delays = [spms_delay_k_relays(params, k) for k in range(1, 6)]
+        assert delays == sorted(delays)
+
+    def test_k_relays_worst_case_is_slower_when_timeout_dominates(self):
+        # The "last relay does not request" case is the worst case whenever
+        # TOutADV is not negligible compared to a round (the regime the paper
+        # assumes); with a tiny timeout, timing out early can actually be
+        # quicker than waiting for two more full rounds.
+        params = AnalysisParameters(tout_adv=60.0)
+        assert spms_delay_k_relays(params, 3, last_relay_requests=False) > spms_delay_k_relays(
+            params, 3, last_relay_requests=True
+        )
+
+    def test_k_relays_requires_positive_k(self):
+        with pytest.raises(ValueError):
+            spms_delay_k_relays(AnalysisParameters(), 0)
+
+    def test_failure_cases_cost_more_than_failure_free(self):
+        params = AnalysisParameters()
+        baseline = spms_delay_two_hop_relay_requests(params)
+        assert spms_delay_relay_fails_before_adv(params) > baseline
+        assert spms_delay_relay_fails_after_adv(params) > baseline
+
+    def test_recommended_tout_adv_covers_relay_round(self):
+        params = AnalysisParameters()
+        assert recommended_tout_adv(params) > 0.0
+        assert recommended_tout_adv(params) < spms_round_time(params)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            AnalysisParameters(adv_size=0.0)
+        with pytest.raises(ValueError):
+            AnalysisParameters(t_tx=0.0)
+        with pytest.raises(ValueError):
+            AnalysisParameters(n1=0)
+
+
+class TestFigure3Series:
+    def test_series_covers_requested_radii(self):
+        series = delay_ratio_series([5.0, 10.0, 20.0])
+        assert [r for r, _ in series] == [5.0, 10.0, 20.0]
+
+    def test_ratio_increases_with_radius(self):
+        series = delay_ratio_series([2.0, 10.0, 20.0, 30.0])
+        ratios = [ratio for _, ratio in series]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > 1.5
+
+    def test_all_ratios_at_least_one(self):
+        assert all(ratio >= 1.0 for _, ratio in delay_ratio_series(range(1, 31)))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            delay_ratio_series([0.0])
+        with pytest.raises(ValueError):
+            delay_ratio_series([10.0], density_per_m2=0.0)

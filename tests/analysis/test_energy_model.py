@@ -1,0 +1,69 @@
+"""Tests for the Section 4.2 analytical energy model."""
+
+import pytest
+
+from repro.analysis.energy_model import (
+    EnergyAnalysisParameters,
+    energy_ratio,
+    energy_ratio_series,
+    spin_energy_per_bit_units,
+    spms_energy_per_bit_units,
+)
+
+
+class TestEnergyRatio:
+    def test_single_hop_is_break_even(self):
+        assert energy_ratio(1) == pytest.approx(1.0)
+
+    def test_ratio_grows_with_distance(self):
+        ratios = [energy_ratio(k) for k in range(1, 20)]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > 5.0
+
+    def test_ratio_approaches_inverse_advertisement_fraction(self):
+        params = EnergyAnalysisParameters()
+        limit = 1.0 / params.adv_fraction
+        assert energy_ratio(500, params) < limit
+        assert energy_ratio(500, params) > 0.8 * limit
+
+    def test_spin_energy_dominated_by_long_hop(self):
+        params = EnergyAnalysisParameters()
+        assert spin_energy_per_bit_units(10, params) == pytest.approx(10**3.5 + 1.0)
+
+    def test_spms_energy_linear_plus_advertisement_term(self):
+        params = EnergyAnalysisParameters(adv_size=1.0, req_size=1.0, data_size=32.0)
+        f = params.adv_fraction
+        expected = f * 4**3.5 + (2.0 - f) * 4
+        assert spms_energy_per_bit_units(4, params) == pytest.approx(expected)
+
+    def test_lower_alpha_reduces_the_gap(self):
+        steep = energy_ratio(10, EnergyAnalysisParameters(alpha=3.5))
+        shallow = energy_ratio(10, EnergyAnalysisParameters(alpha=2.0))
+        assert shallow < steep
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            energy_ratio(0)
+        with pytest.raises(ValueError):
+            EnergyAnalysisParameters(alpha=0.0)
+        with pytest.raises(ValueError):
+            EnergyAnalysisParameters(data_size=0.0)
+
+    def test_adv_fraction_matches_paper_packet_sizes(self):
+        params = EnergyAnalysisParameters()
+        assert params.adv_fraction == pytest.approx(1.0 / 34.0)
+
+
+class TestFigure5Series:
+    def test_series_shape(self):
+        series = energy_ratio_series(range(1, 31))
+        assert len(series) == 30
+        radii = [r for r, _ in series]
+        ratios = [ratio for _, ratio in series]
+        assert radii == list(range(1, 31))
+        assert ratios == sorted(ratios)
+        assert ratios[0] == pytest.approx(1.0)
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            energy_ratio_series([0])

@@ -1,0 +1,90 @@
+"""Tests for the per-node data cache."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.cache import DataCache
+from repro.core.metadata import DataDescriptor, DataItem
+
+
+def item(name: str, region=None) -> DataItem:
+    return DataItem(descriptor=DataDescriptor(name, region=region), source=0)
+
+
+class TestDataCache:
+    def test_add_and_has(self):
+        cache = DataCache()
+        cache.add(item("a"))
+        assert cache.has(DataDescriptor("a"))
+        assert DataDescriptor("a") in cache
+        assert not cache.has(DataDescriptor("b"))
+
+    def test_get_returns_item(self):
+        cache = DataCache()
+        first = item("a")
+        cache.add(first)
+        assert cache.get(DataDescriptor("a")) is first
+        assert cache.get(DataDescriptor("zzz")) is None
+
+    def test_duplicate_add_keeps_single_entry(self):
+        cache = DataCache()
+        cache.add(item("a"))
+        cache.add(item("a"))
+        assert len(cache) == 1
+
+    def test_region_coverage_counts_as_having_data(self):
+        cache = DataCache()
+        cache.add(item("big", region=(0, 0, 10, 10)))
+        inner = DataDescriptor("inner", region=(1, 1, 2, 2))
+        assert cache.has(inner)
+        assert cache.get(inner) is not None
+
+    def test_lru_eviction_when_capacity_exceeded(self):
+        cache = DataCache(capacity=2)
+        cache.add(item("a"))
+        cache.add(item("b"))
+        cache.add(item("c"))
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert not cache.has(DataDescriptor("a"))
+        assert cache.has(DataDescriptor("c"))
+
+    def test_recently_used_item_survives_eviction(self):
+        cache = DataCache(capacity=2)
+        cache.add(item("a"))
+        cache.add(item("b"))
+        cache.has(DataDescriptor("a"))  # touch "a" so "b" is evicted next
+        cache.add(item("c"))
+        assert cache.has(DataDescriptor("a"))
+        assert not cache.has(DataDescriptor("b"))
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            DataCache(capacity=0)
+
+    def test_items_and_clear(self):
+        cache = DataCache()
+        cache.add(item("a"))
+        cache.add(item("b"))
+        assert [i.item_id for i in cache.items()] == ["a", "b"]
+        cache.clear()
+        assert len(cache) == 0
+
+    @given(st.lists(st.text(min_size=1, max_size=8), min_size=1, max_size=50))
+    def test_property_unbounded_cache_never_forgets(self, names):
+        cache = DataCache()
+        for name in names:
+            cache.add(item(name))
+        for name in names:
+            assert cache.has(DataDescriptor(name))
+        assert len(cache) == len(set(names))
+
+    @given(
+        st.lists(st.text(min_size=1, max_size=8), min_size=1, max_size=50),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_property_capacity_never_exceeded(self, names, capacity):
+        cache = DataCache(capacity=capacity)
+        for name in names:
+            cache.add(item(name))
+        assert len(cache) <= capacity

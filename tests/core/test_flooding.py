@@ -1,0 +1,64 @@
+"""Tests for the flooding baseline."""
+
+import pytest
+
+from tests.helpers import build_network, chain_positions
+from repro.core.flooding import FloodingNode
+from repro.core.interests import AllInterested
+
+
+def flooding_harness(positions, radius=10.0):
+    harness = build_network(positions, protocol="spms", radius_m=radius)
+    harness.network._nodes.clear()
+    nodes = {}
+    for node_id in harness.field.node_ids:
+        node = FloodingNode(node_id, harness.network, AllInterested())
+        harness.network.register_node(node)
+        nodes[node_id] = node
+    harness.nodes = nodes
+    return harness
+
+
+class TestFlooding:
+    def test_data_reaches_every_connected_node(self):
+        harness = flooding_harness(chain_positions(5, spacing=5.0))
+        harness.originate("item", source=0, destinations=[1, 2, 3, 4])
+        harness.run()
+        for node in (1, 2, 3, 4):
+            assert harness.delivered("item", node)
+
+    def test_every_node_forwards_exactly_once(self):
+        harness = flooding_harness(chain_positions(4, spacing=5.0))
+        harness.originate("item", source=0, destinations=[1, 2, 3])
+        harness.run()
+        assert harness.metrics.packets_sent["DATA"] == 4
+
+    def test_implosion_counted_as_redundant_receptions(self):
+        # A triangle: every node hears the data at least twice.
+        harness = flooding_harness([(0, 0), (5, 0), (2.5, 4.0)])
+        harness.originate("item", source=0, destinations=[1, 2])
+        harness.run()
+        assert sum(n.redundant_receptions for n in harness.nodes.values()) >= 2
+
+    def test_flooding_costs_more_energy_than_spms(self):
+        positions = chain_positions(5, spacing=5.0)
+        flood = flooding_harness(positions, radius=20.0)
+        flood.originate("item", source=0, destinations=[1, 2, 3, 4])
+        flood.run()
+        spms = build_network(positions, protocol="spms", radius_m=20.0)
+        spms.originate("item", source=0, destinations=[1, 2, 3, 4])
+        spms.run()
+        assert (
+            flood.metrics.energy.category_total("tx")
+            > spms.metrics.energy.category_total("tx")
+        )
+
+    def test_no_forwarding_of_already_seen_data(self):
+        harness = flooding_harness(chain_positions(3, spacing=5.0))
+        harness.originate("item", source=0, destinations=[1, 2])
+        harness.run()
+        before = harness.metrics.packets_sent["DATA"]
+        # Delivering the same item again must not trigger another flood.
+        harness.nodes[0]._flood(harness.nodes[0].cache.items()[0])
+        harness.run()
+        assert harness.metrics.packets_sent["DATA"] == before

@@ -1,0 +1,56 @@
+"""Tests for the gossip baseline."""
+
+import pytest
+
+from tests.helpers import build_network, chain_positions
+from repro.core.gossip import GossipNode
+from repro.core.interests import AllInterested
+
+
+def gossip_harness(positions, probability, radius=10.0, seed=3):
+    harness = build_network(positions, protocol="spms", radius_m=radius, seed=seed)
+    harness.network._nodes.clear()
+    nodes = {}
+    for node_id in harness.field.node_ids:
+        node = GossipNode(
+            node_id, harness.network, AllInterested(), forward_probability=probability
+        )
+        harness.network.register_node(node)
+        nodes[node_id] = node
+    harness.nodes = nodes
+    return harness
+
+
+class TestGossip:
+    def test_probability_one_behaves_like_flooding(self):
+        harness = gossip_harness(chain_positions(5, spacing=5.0), probability=1.0)
+        harness.originate("item", source=0, destinations=[1, 2, 3, 4])
+        harness.run()
+        for node in (1, 2, 3, 4):
+            assert harness.delivered("item", node)
+
+    def test_probability_zero_only_reaches_direct_neighbors(self):
+        harness = gossip_harness(chain_positions(5, spacing=5.0), probability=0.0)
+        harness.originate("item", source=0, destinations=[1, 2, 3, 4])
+        harness.run()
+        assert harness.delivered("item", 1)
+        assert harness.delivered("item", 2)  # 10 m away, still in source's zone
+        assert not harness.delivered("item", 3)
+        assert not harness.delivered("item", 4)
+
+    def test_suppressed_forwards_counted(self):
+        harness = gossip_harness(chain_positions(5, spacing=5.0), probability=0.0)
+        harness.originate("item", source=0, destinations=[1, 2, 3, 4])
+        harness.run()
+        assert sum(n.suppressed_forwards for n in harness.nodes.values()) >= 1
+
+    def test_invalid_probability_rejected(self):
+        harness = build_network(chain_positions(2), protocol="spms")
+        with pytest.raises(ValueError):
+            GossipNode(0, harness.network, AllInterested(), forward_probability=1.5)
+
+    def test_delivery_ratio_below_one_is_reported(self):
+        harness = gossip_harness(chain_positions(6, spacing=5.0), probability=0.0)
+        harness.originate("item", source=0, destinations=[1, 2, 3, 4, 5])
+        harness.run()
+        assert harness.metrics.delivery_ratio < 1.0

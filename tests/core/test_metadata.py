@@ -1,0 +1,50 @@
+"""Tests for meta-data descriptors and data items."""
+
+import pytest
+
+from repro.core.metadata import DataDescriptor, DataItem
+
+
+class TestDataDescriptor:
+    def test_same_name_covers(self):
+        a = DataDescriptor("temp/1")
+        b = DataDescriptor("temp/1")
+        assert a.covers(b) and b.covers(a)
+
+    def test_different_names_without_regions_do_not_cover(self):
+        assert not DataDescriptor("a").covers(DataDescriptor("b"))
+
+    def test_region_containment(self):
+        big = DataDescriptor("big", region=(0, 0, 10, 10))
+        small = DataDescriptor("small", region=(2, 2, 4, 4))
+        assert big.covers(small)
+        assert not small.covers(big)
+
+    def test_region_overlap(self):
+        a = DataDescriptor("a", region=(0, 0, 5, 5))
+        b = DataDescriptor("b", region=(4, 4, 8, 8))
+        c = DataDescriptor("c", region=(6, 6, 9, 9))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_overlap_same_name_regardless_of_region(self):
+        a = DataDescriptor("x", region=(0, 0, 1, 1))
+        b = DataDescriptor("x", region=(5, 5, 6, 6))
+        assert a.overlaps(b)
+
+    def test_descriptor_is_hashable(self):
+        assert len({DataDescriptor("x"), DataDescriptor("x")}) == 1
+
+
+class TestDataItem:
+    def test_item_id_is_descriptor_name(self):
+        item = DataItem(descriptor=DataDescriptor("temp/42"), source=3)
+        assert item.item_id == "temp/42"
+
+    def test_default_size_matches_table1(self):
+        item = DataItem(descriptor=DataDescriptor("x"), source=0)
+        assert item.size_bytes == 40
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            DataItem(descriptor=DataDescriptor("x"), source=0, size_bytes=0)

@@ -1,0 +1,172 @@
+"""Tests for the network glue layer (delivery, energy charging, failures)."""
+
+import pytest
+
+from repro.core.metadata import DataDescriptor, DataItem
+from repro.core.interests import AllInterested
+from repro.core.node_base import ProtocolNode
+from repro.core.packets import BROADCAST, Packet, PacketType
+
+from tests.helpers import build_network, chain_positions
+
+
+class RecorderNode(ProtocolNode):
+    """Protocol node that just records what it receives."""
+
+    def __init__(self, node_id, network, interest_model):
+        super().__init__(node_id, network, interest_model)
+        self.received = []
+
+    def originate(self, item):  # pragma: no cover - not used
+        self.cache.add(item)
+
+    def on_packet(self, packet):
+        self.received.append(packet)
+
+
+def build_recorder_harness(positions, radius=20.0):
+    harness = build_network(positions, protocol="spms", radius_m=radius)
+    # Replace the protocol nodes with passive recorders.
+    harness.network._nodes.clear()
+    nodes = {}
+    for node_id in harness.field.node_ids:
+        node = RecorderNode(node_id, harness.network, AllInterested())
+        harness.network.register_node(node)
+        nodes[node_id] = node
+    harness.nodes = nodes
+    return harness
+
+
+def adv_packet(sender: int) -> Packet:
+    return Packet(
+        packet_type=PacketType.ADV,
+        descriptor=DataDescriptor("x"),
+        sender=sender,
+        receiver=BROADCAST,
+        origin=sender,
+        final_target=BROADCAST,
+        size_bytes=2,
+    )
+
+
+def data_packet(sender: int, receiver: int) -> Packet:
+    item = DataItem(descriptor=DataDescriptor("x"), source=sender)
+    return Packet(
+        packet_type=PacketType.DATA,
+        descriptor=item.descriptor,
+        sender=sender,
+        receiver=receiver,
+        origin=sender,
+        final_target=receiver,
+        size_bytes=40,
+        item=item,
+    )
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_every_zone_neighbor(self):
+        harness = build_recorder_harness(chain_positions(4, spacing=5.0), radius=10.0)
+        harness.network.broadcast(0, adv_packet(0))
+        harness.run()
+        # Nodes 1 (5 m) and 2 (10 m) are in node 0's zone; node 3 (15 m) is not.
+        assert len(harness.nodes[1].received) == 1
+        assert len(harness.nodes[2].received) == 1
+        assert len(harness.nodes[3].received) == 0
+
+    def test_broadcast_charges_tx_and_rx_energy(self):
+        harness = build_recorder_harness(chain_positions(3, spacing=5.0), radius=10.0)
+        harness.network.broadcast(0, adv_packet(0))
+        harness.run()
+        ledger = harness.metrics.energy
+        assert ledger.node_category_total(0, "tx") > 0.0
+        assert ledger.node_category_total(1, "rx") > 0.0
+        assert ledger.node_category_total(2, "rx") > 0.0
+
+    def test_broadcast_from_failed_node_is_dropped(self):
+        harness = build_recorder_harness(chain_positions(3, spacing=5.0))
+        harness.network.fail_node(0)
+        assert harness.network.broadcast(0, adv_packet(0)) is False
+        harness.run()
+        assert harness.nodes[1].received == []
+        assert harness.metrics.packets_dropped["sender_failed"] == 1
+
+    def test_hop_count_incremented_on_delivery(self):
+        harness = build_recorder_harness(chain_positions(2, spacing=5.0))
+        harness.network.broadcast(0, adv_packet(0))
+        harness.run()
+        assert harness.nodes[1].received[0].hop_count == 1
+
+
+class TestUnicast:
+    def test_unicast_delivers_only_to_target(self):
+        harness = build_recorder_harness(chain_positions(3, spacing=5.0))
+        harness.network.unicast(0, 1, data_packet(0, 1))
+        harness.run()
+        assert len(harness.nodes[1].received) == 1
+        assert harness.nodes[2].received == []
+
+    def test_unicast_uses_lowest_sufficient_power(self):
+        harness = build_recorder_harness(chain_positions(3, spacing=5.0), radius=20.0)
+        near = data_packet(0, 1)
+        far = data_packet(0, 2)
+        harness.network.unicast(0, 1, near)
+        energy_after_near = harness.metrics.energy.node_category_total(0, "tx")
+        harness.network.unicast(0, 2, far)
+        energy_after_far = harness.metrics.energy.node_category_total(0, "tx")
+        assert (energy_after_far - energy_after_near) > energy_after_near
+
+    def test_force_max_power_costs_more(self):
+        harness = build_recorder_harness(chain_positions(2, spacing=5.0), radius=20.0)
+        harness.network.unicast(0, 1, data_packet(0, 1))
+        low = harness.metrics.energy.node_category_total(0, "tx")
+        harness.network.unicast(0, 1, data_packet(0, 1), force_max_power=True)
+        high = harness.metrics.energy.node_category_total(0, "tx") - low
+        assert high > low
+
+    def test_out_of_range_unicast_fails(self):
+        harness = build_recorder_harness(chain_positions(3, spacing=15.0), radius=20.0)
+        assert harness.network.unicast(0, 2, data_packet(0, 2)) is False
+        assert harness.metrics.packets_dropped["out_of_range"] == 1
+
+    def test_delivery_to_failed_receiver_dropped(self):
+        harness = build_recorder_harness(chain_positions(2, spacing=5.0))
+        harness.network.unicast(0, 1, data_packet(0, 1))
+        harness.network.fail_node(1)
+        harness.run()
+        assert harness.nodes[1].received == []
+        assert harness.metrics.packets_dropped["receiver_failed"] == 1
+
+    def test_recovered_receiver_gets_later_packets(self):
+        harness = build_recorder_harness(chain_positions(2, spacing=5.0))
+        harness.network.fail_node(1)
+        harness.network.recover_node(1)
+        harness.network.unicast(0, 1, data_packet(0, 1))
+        harness.run()
+        assert len(harness.nodes[1].received) == 1
+
+    def test_packet_counters(self):
+        harness = build_recorder_harness(chain_positions(2, spacing=5.0))
+        harness.network.unicast(0, 1, data_packet(0, 1))
+        harness.run()
+        assert harness.metrics.packets_sent["DATA"] == 1
+        assert harness.metrics.packets_received["DATA"] == 1
+
+
+class TestRegistration:
+    def test_duplicate_registration_rejected(self):
+        harness = build_recorder_harness(chain_positions(2, spacing=5.0))
+        with pytest.raises(ValueError):
+            harness.network.register_node(RecorderNode(0, harness.network, AllInterested()))
+
+    def test_unknown_node_id_rejected(self):
+        harness = build_recorder_harness(chain_positions(2, spacing=5.0))
+        with pytest.raises(KeyError):
+            harness.network.register_node(RecorderNode(99, harness.network, AllInterested()))
+
+    def test_failed_nodes_tracking(self):
+        harness = build_recorder_harness(chain_positions(2, spacing=5.0))
+        harness.network.fail_node(1)
+        assert harness.network.is_failed(1)
+        assert harness.network.failed_nodes == {1}
+        harness.network.recover_node(1)
+        assert not harness.network.is_failed(1)

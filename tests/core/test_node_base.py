@@ -1,0 +1,73 @@
+"""Tests for the shared protocol-node machinery."""
+
+import pytest
+
+from repro.core.interests import ExplicitInterest
+from repro.core.metadata import DataDescriptor, DataItem
+from repro.core.packets import BROADCAST, PacketType
+
+from tests.helpers import build_network, chain_positions
+
+
+@pytest.fixture
+def harness():
+    return build_network(chain_positions(3, spacing=5.0), protocol="spms", radius_m=15.0)
+
+
+class TestWantsAndStore:
+    def test_wants_requires_interest_and_absence(self, harness):
+        node = harness.nodes[1]
+        descriptor = DataDescriptor("x")
+        harness.set_interest("x", [1])
+        assert node.wants(descriptor, source=0)
+        node.cache.add(DataItem(descriptor=descriptor, source=0))
+        assert not node.wants(descriptor, source=0)
+
+    def test_wants_false_when_not_interested(self, harness):
+        node = harness.nodes[1]
+        harness.set_interest("x", [2])
+        assert not node.wants(DataDescriptor("x"), source=0)
+
+    def test_store_item_records_delivery_only_for_interested(self, harness):
+        harness.set_interest("x", [1])
+        harness.metrics.record_item_generated("x", 0.0, [1])
+        item = DataItem(descriptor=DataDescriptor("x"), source=0)
+        assert harness.nodes[1].store_item(item) is True
+        assert harness.metrics.delay.deliveries_completed == 1
+        # Node 2 is not interested: storing does not count as a delivery.
+        assert harness.nodes[2].store_item(item) is True
+        assert harness.metrics.delay.deliveries_completed == 1
+
+    def test_store_item_is_idempotent(self, harness):
+        harness.set_interest("x", [1])
+        harness.metrics.record_item_generated("x", 0.0, [1])
+        item = DataItem(descriptor=DataDescriptor("x"), source=0)
+        assert harness.nodes[1].store_item(item) is True
+        assert harness.nodes[1].store_item(item) is False
+        assert harness.nodes[1].items_received == 1
+
+
+class TestPacketBuilders:
+    def test_make_adv_is_broadcast_with_table1_size(self, harness):
+        adv = harness.nodes[0].make_adv(DataDescriptor("x"))
+        assert adv.packet_type is PacketType.ADV
+        assert adv.receiver == BROADCAST
+        assert adv.size_bytes == 2
+        assert adv.origin == 0
+
+    def test_make_req_addresses_final_target(self, harness):
+        req = harness.nodes[2].make_req(DataDescriptor("x"), next_hop=1, final_target=0,
+                                        multi_hop=True)
+        assert req.packet_type is PacketType.REQ
+        assert req.receiver == 1
+        assert req.final_target == 0
+        assert req.multi_hop is True
+        assert req.origin == 2
+
+    def test_make_data_carries_item_and_size(self, harness):
+        item = DataItem(descriptor=DataDescriptor("x"), source=0, size_bytes=40)
+        data = harness.nodes[0].make_data(item, next_hop=1, final_target=2)
+        assert data.packet_type is PacketType.DATA
+        assert data.item is item
+        assert data.size_bytes == 40
+        assert data.final_target == 2

@@ -1,0 +1,76 @@
+"""Tests for the SPMS future-work extensions (relay caching / cache serving)."""
+
+import pytest
+
+from tests.helpers import build_network, chain_positions
+
+
+class TestServeFromCache:
+    def test_relay_with_cached_copy_answers_routed_request(self):
+        harness = build_network(
+            chain_positions(3, spacing=5.0),
+            protocol="spms",
+            radius_m=15.0,
+            spms_options={"serve_from_cache": True},
+        )
+        # Pre-load the middle relay with the item (as if it had cached a
+        # previous transfer).
+        item = harness.item("item", source=0)
+        harness.nodes[1].cache.add(item)
+        # The source is down, but node 2's routed request towards the
+        # advertised source passes through node 1, which serves it.
+        harness.set_interest("item", [2])
+        harness.metrics.record_item_generated("item", 0.0, [2])
+        harness.nodes[0].originate(item)
+        harness.sim.schedule(0.05, lambda: harness.network.fail_node(0))
+        harness.run()
+        assert harness.delivered("item", 2)
+
+    def test_without_cache_serving_the_same_scenario_fails(self):
+        harness = build_network(
+            chain_positions(3, spacing=5.0),
+            protocol="spms",
+            radius_m=15.0,
+            spms_options={"serve_from_cache": False},
+        )
+        item = harness.item("item", source=0)
+        harness.nodes[1].cache.add(item)
+        harness.set_interest("item", [2])
+        harness.metrics.record_item_generated("item", 0.0, [2])
+        harness.nodes[0].originate(item)
+        harness.sim.schedule(0.05, lambda: harness.network.fail_node(0))
+        harness.run()
+        # Node 1 merely forwards requests to the (dead) source and never
+        # advertises the cached copy it happens to hold, so node 2 starves.
+        assert not harness.delivered("item", 2)
+
+
+class TestRelayDataCaching:
+    def test_caching_relay_advertises_and_counts_as_delivery_if_interested(self):
+        harness = build_network(
+            chain_positions(3, spacing=5.0),
+            protocol="spms",
+            radius_m=15.0,
+            spms_options={"cache_relay_data": True},
+        )
+        # Both the relay and the far node are interested, but the relay's own
+        # negotiation is outrun by the data it forwards for node 2.
+        harness.originate("item", source=0, destinations=[1, 2])
+        harness.run()
+        assert harness.delivered("item", 1)
+        assert harness.delivered("item", 2)
+        assert harness.metrics.delivery_ratio == 1.0
+
+    def test_no_readvertisement_flag_limits_dissemination(self):
+        harness = build_network(
+            chain_positions(4, spacing=5.0),
+            protocol="spms",
+            radius_m=10.0,
+            spms_options={"readvertise_received": False},
+        )
+        harness.originate("item", source=0, destinations=[1, 2, 3])
+        harness.run()
+        # Node 3 (15 m away, outside the 10 m zone) never hears an ADV.
+        assert harness.delivered("item", 1)
+        assert harness.delivered("item", 2)
+        assert not harness.delivered("item", 3)

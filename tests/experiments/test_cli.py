@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import ANALYTICAL_FIGURES, SIMULATED_FIGURES, build_parser, main
+from repro.experiments import figures
+from repro.experiments.figures import FigureScale
+
+
+@pytest.fixture
+def capture():
+    lines = []
+    return lines, lines.append
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.nodes == 49
+        assert args.workload == "all_to_all"
+        assert args.failures is False
+
+    def test_figure_name_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    def test_table1(self, capture):
+        lines, out = capture
+        assert main(["table1"], out=out) == 0
+        assert any("power_levels_mw" in line for line in lines)
+
+    def test_list_figures(self, capture):
+        lines, out = capture
+        assert main(["list-figures"], out=out) == 0
+        listed = "\n".join(lines)
+        for name in list(ANALYTICAL_FIGURES) + list(SIMULATED_FIGURES):
+            assert name in listed
+
+    def test_analytical_figure(self, capture):
+        lines, out = capture
+        assert main(["figure", "fig3"], out=out) == 0
+        assert len(lines) > 5
+
+    def test_compare_small_run(self, capture):
+        lines, out = capture
+        code = main(
+            ["compare", "--nodes", "9", "--radius", "15", "--packets", "1", "--seed", "2"],
+            out=out,
+        )
+        assert code == 0
+        text = "\n".join(lines)
+        assert "spms" in text and "spin" in text
+        assert "SPMS saves" in text
+
+    def test_simulated_figure_with_monkeypatched_scale(self, capture, monkeypatch):
+        lines, out = capture
+        tiny = FigureScale(
+            node_counts=(9,),
+            radii_m=(10.0,),
+            fixed_num_nodes=9,
+            packets_per_node=1,
+            arrival_mean_interarrival_ms=5.0,
+        )
+        monkeypatch.setattr(figures, "bench_scale", lambda: tiny)
+        figures.clear_figure_cache()
+        try:
+            assert main(["figure", "fig6"], out=out) == 0
+        finally:
+            figures.clear_figure_cache()
+        assert any("spms" in line for line in lines)

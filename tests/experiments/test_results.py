@@ -1,0 +1,65 @@
+"""Tests for result containers."""
+
+import pytest
+
+from repro.experiments.results import ScenarioResult, SweepResult
+
+
+def make_result(protocol="spms", energy=10.0, delay=5.0, nodes=16):
+    return ScenarioResult(
+        protocol=protocol,
+        scenario="test",
+        num_nodes=nodes,
+        transmission_radius_m=20.0,
+        items_generated=4,
+        expected_deliveries=12,
+        deliveries_completed=12,
+        total_energy_uj=energy * 4,
+        energy_per_item_uj=energy,
+        average_delay_ms=delay,
+        delivery_ratio=1.0,
+    )
+
+
+class TestScenarioResult:
+    def test_as_dict_round_trip(self):
+        result = make_result()
+        data = result.as_dict()
+        assert data["protocol"] == "spms"
+        assert data["energy_per_item_uj"] == 10.0
+        assert data["num_nodes"] == 16
+
+    def test_defaults(self):
+        result = make_result()
+        assert result.routing_rebuilds == 0
+        assert result.failures_injected == 0
+
+
+class TestSweepResult:
+    def build(self):
+        sweep = SweepResult(parameter="num_nodes")
+        for nodes, spin_e, spms_e in ((16, 10.0, 6.0), (36, 20.0, 10.0)):
+            sweep.add("spin", nodes, make_result("spin", energy=spin_e, nodes=nodes))
+            sweep.add("spms", nodes, make_result("spms", energy=spms_e, nodes=nodes))
+        return sweep
+
+    def test_values_recorded_once(self):
+        sweep = self.build()
+        assert sweep.values == [16, 36]
+
+    def test_series_extraction(self):
+        sweep = self.build()
+        assert sweep.series("spin", "energy_per_item_uj") == [10.0, 20.0]
+        assert sweep.series("spms", "energy_per_item_uj") == [6.0, 10.0]
+        assert sweep.series("unknown", "energy_per_item_uj") == []
+
+    def test_rows(self):
+        rows = self.build().rows("energy_per_item_uj")
+        assert rows[0] == {"num_nodes": 16, "spin": 10.0, "spms": 6.0}
+        assert rows[1]["spms"] == 10.0
+
+    def test_format_table_contains_all_columns(self):
+        table = self.build().format_table("energy_per_item_uj")
+        assert "num_nodes" in table
+        assert "spin" in table and "spms" in table
+        assert len(table.splitlines()) == 4  # header + rule + 2 rows

@@ -1,0 +1,46 @@
+"""Tests for scenario builders."""
+
+import pytest
+
+from repro.experiments.config import FailureConfig, MobilityConfig, SimulationConfig
+from repro.experiments.scenarios import (
+    all_to_all_scenario,
+    cluster_scenario,
+    single_pair_scenario,
+)
+
+
+class TestScenarioBuilders:
+    def test_all_to_all_defaults(self):
+        spec = all_to_all_scenario("spms")
+        assert spec.workload == "all_to_all"
+        assert spec.protocol == "spms"
+        assert spec.failures is None and spec.mobility is None
+        assert "spms" in spec.name
+
+    def test_all_to_all_with_failures_and_mobility(self):
+        spec = all_to_all_scenario(
+            "spin",
+            SimulationConfig(num_nodes=16),
+            failures=FailureConfig(),
+            mobility=MobilityConfig(),
+        )
+        assert spec.failures is not None
+        assert spec.mobility is not None
+        assert spec.config.num_nodes == 16
+
+    def test_cluster_options_forwarded(self):
+        spec = cluster_scenario("spms", packets_per_member=3, member_interest_probability=0.1)
+        assert spec.workload == "cluster"
+        assert spec.workload_options["packets_per_member"] == 3
+        assert spec.workload_options["member_interest_probability"] == 0.1
+
+    def test_single_pair_options(self):
+        spec = single_pair_scenario("spin", source=0, destinations=[5, 6], num_items=4)
+        assert spec.workload == "single_pair"
+        assert spec.workload_options["source"] == 0
+        assert spec.workload_options["destinations"] == [5, 6]
+        assert spec.workload_options["num_items"] == 4
+
+    def test_custom_name(self):
+        assert all_to_all_scenario("spms", name="my-run").name == "my-run"

@@ -1,0 +1,49 @@
+"""Tests for parameter sweeps."""
+
+import pytest
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.sweep import sweep_nodes, sweep_radius
+
+
+@pytest.fixture
+def base_config():
+    return SimulationConfig(
+        num_nodes=16,
+        packets_per_node=1,
+        transmission_radius_m=15.0,
+        grid_spacing_m=5.0,
+        seed=3,
+    )
+
+
+class TestSweeps:
+    def test_sweep_nodes_structure(self, base_config):
+        sweep = sweep_nodes([9, 16], protocols=("spms", "spin"), base_config=base_config)
+        assert sweep.parameter == "num_nodes"
+        assert sweep.values == [9, 16]
+        assert len(sweep.results["spms"]) == 2
+        assert len(sweep.results["spin"]) == 2
+        assert sweep.results["spms"][0].num_nodes == 9
+        assert sweep.results["spms"][1].num_nodes == 16
+
+    def test_sweep_radius_structure(self, base_config):
+        sweep = sweep_radius([10.0, 15.0], protocols=("spms",), base_config=base_config)
+        assert sweep.parameter == "transmission_radius_m"
+        assert [r.transmission_radius_m for r in sweep.results["spms"]] == [10.0, 15.0]
+
+    def test_sweep_rows_align_with_values(self, base_config):
+        sweep = sweep_nodes([9, 16], base_config=base_config)
+        rows = sweep.rows("energy_per_item_uj")
+        assert rows[0]["num_nodes"] == 9
+        assert set(rows[0]) == {"num_nodes", "spms", "spin"}
+
+    def test_cluster_workload_sweep(self, base_config):
+        sweep = sweep_radius(
+            [15.0],
+            protocols=("spms",),
+            base_config=base_config,
+            workload="cluster",
+            packets_per_member=1,
+        )
+        assert sweep.results["spms"][0].items_generated > 0

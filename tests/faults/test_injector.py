@@ -1,0 +1,78 @@
+"""Tests for the online failure injector."""
+
+import pytest
+
+from repro.faults.injector import FailureInjector
+from repro.faults.models import TransientFailureModel
+from repro.sim.engine import Simulator
+
+
+class FakeTarget:
+    """Records fail/recover calls and tracks the currently-down set."""
+
+    def __init__(self) -> None:
+        self.down = set()
+        self.fail_calls = []
+        self.recover_calls = []
+
+    def fail_node(self, node_id: int) -> None:
+        self.down.add(node_id)
+        self.fail_calls.append(node_id)
+
+    def recover_node(self, node_id: int) -> None:
+        self.down.discard(node_id)
+        self.recover_calls.append(node_id)
+
+
+def make_injector(horizon=1000.0, mean=20.0, seed=1):
+    sim = Simulator(seed=seed)
+    target = FakeTarget()
+    model = TransientFailureModel(mean_interarrival_ms=mean, repair_min_ms=5.0, repair_max_ms=15.0)
+    injector = FailureInjector(sim, target, model, candidates=[0, 1, 2, 3], horizon_ms=horizon)
+    return sim, target, injector
+
+
+class TestFailureInjector:
+    def test_failures_happen_and_recover(self):
+        sim, target, injector = make_injector()
+        injector.start()
+        sim.run()
+        assert injector.failures_injected > 10
+        assert injector.recoveries_completed == injector.failures_injected
+        assert target.down == set()
+        assert len(target.fail_calls) == injector.failures_injected
+
+    def test_no_failures_after_horizon(self):
+        sim, target, injector = make_injector(horizon=100.0, mean=10.0)
+        injector.start()
+        sim.run()
+        # Every injection happened before the horizon (recoveries may trail).
+        assert sim.now <= 100.0 + 15.0 + 1e-9
+
+    def test_start_is_idempotent(self):
+        sim, target, injector = make_injector(horizon=200.0)
+        injector.start()
+        injector.start()
+        sim.run()
+        assert injector.recoveries_completed == injector.failures_injected
+
+    def test_only_candidates_fail(self):
+        sim, target, injector = make_injector()
+        injector.start()
+        sim.run()
+        assert set(target.fail_calls) <= {0, 1, 2, 3}
+
+    def test_invalid_horizon(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            FailureInjector(sim, FakeTarget(), TransientFailureModel(), [0], horizon_ms=0.0)
+
+    def test_reproducible_given_seed(self):
+        _, target_a, injector_a = make_injector(seed=9)
+        sim_a, = (injector_a.sim,)
+        injector_a.start()
+        sim_a.run()
+        _, target_b, injector_b = make_injector(seed=9)
+        injector_b.start()
+        injector_b.sim.run()
+        assert target_a.fail_calls == target_b.fail_calls

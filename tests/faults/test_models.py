@@ -1,0 +1,54 @@
+"""Tests for the transient-failure model."""
+
+import pytest
+
+from repro.faults.models import FailureEvent, TransientFailureModel
+from repro.sim.rng import RandomStreams
+
+
+class TestTransientFailureModel:
+    def test_mean_repair(self):
+        model = TransientFailureModel(repair_min_ms=5.0, repair_max_ms=15.0)
+        assert model.mean_repair_ms == pytest.approx(10.0)
+
+    def test_interarrival_mean_roughly_matches(self):
+        model = TransientFailureModel(mean_interarrival_ms=50.0)
+        rng = RandomStreams(1)
+        draws = [model.next_interarrival(rng) for _ in range(4000)]
+        assert 45.0 < sum(draws) / len(draws) < 55.0
+
+    def test_repair_within_bounds(self):
+        model = TransientFailureModel(repair_min_ms=5.0, repair_max_ms=15.0)
+        rng = RandomStreams(2)
+        for _ in range(200):
+            assert 5.0 <= model.next_repair(rng) <= 15.0
+
+    def test_victim_from_candidates(self):
+        model = TransientFailureModel()
+        rng = RandomStreams(3)
+        victims = {model.pick_victim(rng, [4, 7, 9]) for _ in range(100)}
+        assert victims <= {4, 7, 9}
+        assert len(victims) > 1
+
+    def test_pick_victim_requires_candidates(self):
+        with pytest.raises(ValueError):
+            TransientFailureModel().pick_victim(RandomStreams(0), [])
+
+    def test_schedule_respects_horizon(self):
+        model = TransientFailureModel(mean_interarrival_ms=10.0)
+        events = model.schedule(RandomStreams(5), [0, 1, 2], horizon_ms=200.0)
+        assert events
+        assert all(e.start_ms < 200.0 for e in events)
+        assert all(e.duration_ms > 0 for e in events)
+        starts = [e.start_ms for e in events]
+        assert starts == sorted(starts)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TransientFailureModel(mean_interarrival_ms=0.0)
+        with pytest.raises(ValueError):
+            TransientFailureModel(repair_min_ms=10.0, repair_max_ms=5.0)
+
+    def test_failure_event_end(self):
+        event = FailureEvent(node_id=1, start_ms=10.0, duration_ms=4.0)
+        assert event.end_ms == pytest.approx(14.0)

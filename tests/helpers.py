@@ -1,0 +1,162 @@
+"""Utilities for building small hand-crafted protocol scenarios in tests.
+
+``build_network`` wires the full stack (simulator, field, zones, energy, MAC,
+network, routing) around an explicit list of node positions so behaviour
+tests can reproduce the paper's walk-through topologies (Sections 3.3 and
+3.5) exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.interests import ExplicitInterest, InterestModel
+from repro.core.metadata import DataDescriptor, DataItem
+from repro.core.network import Network
+from repro.core.spin import SpinNode
+from repro.core.spms import SpmsNode
+from repro.mac.delay import MacDelayModel
+from repro.metrics.collector import MetricsCollector
+from repro.radio.energy import EnergyModel
+from repro.radio.power import build_power_table_for_radius
+from repro.routing.manager import RoutingManager
+from repro.sim.engine import Simulator
+from repro.topology.field import SensorField
+from repro.topology.node import NodeInfo, Position
+from repro.topology.zone import ZoneMap
+
+
+@dataclass
+class Harness:
+    """Everything a behaviour test needs to drive a small scenario."""
+
+    sim: Simulator
+    field: SensorField
+    zone_map: ZoneMap
+    network: Network
+    routing: RoutingManager
+    metrics: MetricsCollector
+    nodes: Dict[int, object]
+    interest: ExplicitInterest
+
+    def item(self, name: str, source: int, size_bytes: int = 40) -> DataItem:
+        """Create a data item originated by *source*."""
+        return DataItem(
+            descriptor=DataDescriptor(name=name),
+            source=source,
+            size_bytes=size_bytes,
+            created_at_ms=self.sim.now,
+        )
+
+    def set_interest(self, name: str, destinations: Sequence[int]) -> None:
+        """Declare which nodes want the item called *name*."""
+        self.interest.set_interest(name, destinations)
+
+    def originate(self, name: str, source: int, destinations: Sequence[int]) -> DataItem:
+        """Register interest, record metrics bookkeeping and originate."""
+        self.set_interest(name, destinations)
+        item = self.item(name, source)
+        self.metrics.record_item_generated(name, self.sim.now, list(destinations))
+        self.nodes[source].originate(item)
+        return item
+
+    def run(self, until: float = 10_000.0) -> float:
+        """Run the simulation until the event queue drains (or *until*)."""
+        return self.sim.run(until=until)
+
+    def delivered(self, name: str, destination: int) -> bool:
+        """Whether *destination* got the item called *name*."""
+        return self.nodes[destination].cache.has(DataDescriptor(name=name))
+
+
+def build_network(
+    positions: Sequence[Tuple[float, float]],
+    protocol: str = "spms",
+    radius_m: float = 20.0,
+    seed: int = 3,
+    random_backoff: bool = False,
+    tout_adv_ms: float = 2.0,
+    tout_dat_ms: float = 25.0,
+    spms_options: Optional[dict] = None,
+    spin_options: Optional[dict] = None,
+) -> Harness:
+    """Build a small network with explicit node positions.
+
+    Args:
+        positions: ``(x, y)`` coordinates; node ids follow list order.
+        protocol: "spms" or "spin" — which node type to instantiate.
+        radius_m: Maximum transmission radius (zone radius).
+        seed: Simulator seed.
+        random_backoff: Keep False for deterministic timing in tests.
+        tout_adv_ms / tout_dat_ms: Protocol timeouts.
+        spms_options / spin_options: Extra node-constructor options.
+    """
+    sim = Simulator(seed=seed)
+    field = SensorField(
+        [NodeInfo(node_id=i, position=Position(x, y)) for i, (x, y) in enumerate(positions)]
+    )
+    power_table = build_power_table_for_radius(radius_m, num_levels=5, alpha=2.0)
+    zone_map = ZoneMap(field, radius_m)
+    metrics = MetricsCollector()
+    energy_model = EnergyModel(power_table, rx_power_mw=0.0125)
+    mac = MacDelayModel(rng=sim.rng if random_backoff else None)
+    network = Network(
+        sim=sim,
+        field=field,
+        power_table=power_table,
+        zone_map=zone_map,
+        energy_model=energy_model,
+        mac_delay=mac,
+        metrics=metrics,
+    )
+    routing = RoutingManager(
+        field=field,
+        power_table=power_table,
+        zone_map=zone_map,
+        energy_model=energy_model,
+        energy_ledger=metrics.energy,
+        mac_delay=mac,
+        charge_energy=False,
+    )
+    routing.build()
+    interest = ExplicitInterest({})
+    nodes: Dict[int, object] = {}
+    for node_id in field.node_ids:
+        if protocol == "spms":
+            node = SpmsNode(
+                node_id,
+                network,
+                interest,
+                routing,
+                tout_adv_ms=tout_adv_ms,
+                tout_dat_ms=tout_dat_ms,
+                **(spms_options or {}),
+            )
+        elif protocol == "spin":
+            node = SpinNode(
+                node_id,
+                network,
+                interest,
+                tout_dat_ms=tout_dat_ms,
+                **(spin_options or {}),
+            )
+        else:
+            raise ValueError(f"unsupported protocol {protocol!r} in test harness")
+        network.register_node(node)
+        nodes[node_id] = node
+    return Harness(
+        sim=sim,
+        field=field,
+        zone_map=zone_map,
+        network=network,
+        routing=routing,
+        metrics=metrics,
+        nodes=nodes,
+        interest=interest,
+    )
+
+
+def chain_positions(count: int, spacing: float = 5.0) -> List[Tuple[float, float]]:
+    """Positions of *count* nodes in a straight line, *spacing* metres apart."""
+    return [(i * spacing, 0.0) for i in range(count)]

@@ -1,0 +1,70 @@
+"""Property-based integration tests over randomly generated small scenarios."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import SimulationConfig, all_to_all_scenario, run_scenario
+from tests.helpers import build_network, chain_positions
+
+
+small_configs = st.builds(
+    SimulationConfig,
+    num_nodes=st.sampled_from([4, 9, 16]),
+    packets_per_node=st.integers(min_value=1, max_value=2),
+    transmission_radius_m=st.sampled_from([10.0, 15.0, 20.0]),
+    grid_spacing_m=st.just(5.0),
+    seed=st.integers(min_value=0, max_value=50),
+)
+
+
+class TestScenarioInvariants:
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(config=small_configs, protocol=st.sampled_from(["spms", "spin"]))
+    def test_invariants_hold_for_random_small_scenarios(self, config, protocol):
+        result = run_scenario(all_to_all_scenario(protocol, config))
+        # Conservation-style invariants that must hold for any run:
+        assert result.items_generated == config.num_nodes * config.packets_per_node
+        assert 0.0 <= result.delivery_ratio <= 1.0
+        assert result.deliveries_completed <= result.expected_deliveries
+        assert result.total_energy_uj >= 0.0
+        assert result.energy_per_item_uj * result.items_generated == pytest.approx(
+            result.total_energy_uj
+        )
+        breakdown_total = sum(result.energy_breakdown_uj.values())
+        assert breakdown_total == pytest.approx(result.total_energy_uj)
+        # On a connected grid, both protocols deliver everything eventually.
+        assert result.delivery_ratio == 1.0
+        # Receive counts can never exceed what was sent for unicast types.
+        assert result.packets_sent["ADV"] >= config.num_nodes * config.packets_per_node
+
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        num_nodes=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=100),
+        protocol=st.sampled_from(["spms", "spin"]),
+    )
+    def test_single_item_chain_always_delivers(self, num_nodes, seed, protocol):
+        harness = build_network(
+            chain_positions(num_nodes, spacing=5.0),
+            protocol=protocol,
+            radius_m=12.0,
+            seed=seed,
+            random_backoff=True,
+        )
+        destinations = list(range(1, num_nodes))
+        harness.originate("item", source=0, destinations=destinations)
+        harness.run()
+        for destination in destinations:
+            assert harness.delivered("item", destination)
+        assert harness.sim.pending_events == 0
+
+    @settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_energy_identical_across_repeated_runs(self, seed):
+        config = SimulationConfig(
+            num_nodes=9, packets_per_node=1, transmission_radius_m=15.0, seed=seed
+        )
+        first = run_scenario(all_to_all_scenario("spms", config))
+        second = run_scenario(all_to_all_scenario("spms", config))
+        assert first.total_energy_uj == pytest.approx(second.total_energy_uj)
+        assert first.average_delay_ms == pytest.approx(second.average_delay_ms)

@@ -1,0 +1,51 @@
+"""Tests for the shared-medium reservation model."""
+
+import pytest
+
+from repro.mac.channel import ChannelReservation
+
+
+class TestChannelReservation:
+    def test_idle_medium_starts_immediately(self):
+        channel = ChannelReservation()
+        assert channel.earliest_start(sender=1, ready_at_ms=5.0) == pytest.approx(5.0)
+
+    def test_reservation_delays_blocked_nodes(self):
+        channel = ChannelReservation()
+        end = channel.reserve([1, 2, 3], start_ms=10.0, airtime_ms=2.0)
+        assert end == pytest.approx(12.0)
+        assert channel.earliest_start(2, ready_at_ms=10.5) == pytest.approx(12.0)
+        # Node 4 was outside the transmission radius: unaffected.
+        assert channel.earliest_start(4, ready_at_ms=10.5) == pytest.approx(10.5)
+
+    def test_reservations_accumulate(self):
+        channel = ChannelReservation()
+        channel.reserve([1], start_ms=0.0, airtime_ms=2.0)
+        channel.reserve([1], start_ms=2.0, airtime_ms=3.0)
+        assert channel.busy_until(1) == pytest.approx(5.0)
+
+    def test_shorter_reservation_does_not_shrink_busy_until(self):
+        channel = ChannelReservation()
+        channel.reserve([1], start_ms=0.0, airtime_ms=10.0)
+        channel.reserve([1], start_ms=1.0, airtime_ms=1.0)
+        assert channel.busy_until(1) == pytest.approx(10.0)
+
+    def test_record_wait_statistics(self):
+        channel = ChannelReservation()
+        channel.record_wait(0.0)
+        channel.record_wait(1.5)
+        channel.record_wait(2.5)
+        assert channel.deferred_transmissions == 2
+        assert channel.total_wait_ms == pytest.approx(4.0)
+
+    def test_negative_airtime_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelReservation().reserve([1], 0.0, -1.0)
+
+    def test_reset(self):
+        channel = ChannelReservation()
+        channel.reserve([1], 0.0, 5.0)
+        channel.record_wait(1.0)
+        channel.reset()
+        assert channel.busy_until(1) == 0.0
+        assert channel.total_wait_ms == 0.0

@@ -1,0 +1,63 @@
+"""Tests for the MAC contention models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mac.contention import (
+    ExponentialContention,
+    PolynomialContention,
+    QuadraticContention,
+)
+
+
+class TestQuadraticContention:
+    def test_matches_paper_formula(self):
+        model = QuadraticContention(g=0.01)
+        assert model.access_delay_ms(45) == pytest.approx(0.01 * 45**2)
+
+    def test_zero_contenders_is_free(self):
+        assert QuadraticContention(g=0.01).access_delay_ms(0) == 0.0
+
+    def test_negative_contenders_rejected(self):
+        with pytest.raises(ValueError):
+            QuadraticContention().access_delay_ms(-1)
+
+    def test_negative_g_rejected(self):
+        with pytest.raises(ValueError):
+            QuadraticContention(g=-0.1)
+
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_property_monotone(self, n):
+        model = QuadraticContention(g=0.01)
+        assert model.access_delay_ms(n + 1) >= model.access_delay_ms(n)
+
+
+class TestPolynomialContention:
+    def test_linear_exponent(self):
+        model = PolynomialContention(g=0.5, exponent=1.0)
+        assert model.access_delay_ms(4) == pytest.approx(2.0)
+
+    def test_reduces_to_quadratic(self):
+        poly = PolynomialContention(g=0.01, exponent=2.0)
+        quad = QuadraticContention(g=0.01)
+        assert poly.access_delay_ms(17) == pytest.approx(quad.access_delay_ms(17))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PolynomialContention(g=-1.0)
+        with pytest.raises(ValueError):
+            PolynomialContention(exponent=-1.0)
+
+
+class TestExponentialContention:
+    def test_zero_contenders_is_free(self):
+        assert ExponentialContention().access_delay_ms(0) == pytest.approx(0.0)
+
+    def test_grows_faster_than_quadratic_for_large_n(self):
+        exp = ExponentialContention(g=0.01, base=1.5)
+        quad = QuadraticContention(g=0.01)
+        assert exp.access_delay_ms(50) > quad.access_delay_ms(50)
+
+    def test_invalid_base(self):
+        with pytest.raises(ValueError):
+            ExponentialContention(base=1.0)

@@ -1,0 +1,64 @@
+"""Tests for the end-to-end delay tracker."""
+
+import pytest
+
+from repro.metrics.delay import DelayTracker
+
+
+class TestDelayTracker:
+    def test_delay_is_delivery_minus_origin(self):
+        tracker = DelayTracker()
+        tracker.record_origin("a", 10.0)
+        tracker.record_delivery("a", 5, 14.5)
+        assert tracker.delay_of("a", 5) == pytest.approx(4.5)
+
+    def test_average_across_deliveries(self):
+        tracker = DelayTracker()
+        tracker.record_origin("a", 0.0)
+        tracker.record_delivery("a", 1, 2.0)
+        tracker.record_delivery("a", 2, 4.0)
+        assert tracker.average_delay_ms == pytest.approx(3.0)
+        assert tracker.deliveries_completed == 2
+
+    def test_duplicate_delivery_ignored(self):
+        tracker = DelayTracker()
+        tracker.record_origin("a", 0.0)
+        tracker.record_delivery("a", 1, 2.0)
+        tracker.record_delivery("a", 1, 9.0)
+        assert tracker.delay_of("a", 1) == pytest.approx(2.0)
+
+    def test_duplicate_origin_keeps_first(self):
+        tracker = DelayTracker()
+        tracker.record_origin("a", 1.0)
+        tracker.record_origin("a", 5.0)
+        tracker.record_delivery("a", 1, 3.0)
+        assert tracker.delay_of("a", 1) == pytest.approx(2.0)
+
+    def test_delivery_before_origin_raises(self):
+        tracker = DelayTracker()
+        with pytest.raises(ValueError):
+            tracker.record_delivery("missing", 1, 1.0)
+
+    def test_missing_delivery_is_none(self):
+        tracker = DelayTracker()
+        tracker.record_origin("a", 0.0)
+        assert tracker.delay_of("a", 9) is None
+
+    def test_empty_tracker_average_is_zero(self):
+        assert DelayTracker().average_delay_ms == 0.0
+
+    def test_undelivered_listing(self):
+        tracker = DelayTracker()
+        tracker.record_origin("a", 0.0)
+        tracker.record_delivery("a", 1, 2.0)
+        missing = tracker.undelivered({"a": [1, 2, 3]})
+        assert missing == [("a", 2), ("a", 3)]
+
+    def test_summary(self):
+        tracker = DelayTracker()
+        tracker.record_origin("a", 0.0)
+        for node, t in ((1, 1.0), (2, 2.0), (3, 3.0)):
+            tracker.record_delivery("a", node, t)
+        summary = tracker.summary()
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(2.0)

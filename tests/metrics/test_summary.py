@@ -1,0 +1,55 @@
+"""Tests for distribution summaries."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.summary import DistributionSummary, percentile, summarize
+
+
+class TestPercentile:
+    def test_median_of_odd_sample(self):
+        assert percentile([1.0, 2.0, 3.0], 50.0) == pytest.approx(2.0)
+
+    def test_median_of_even_sample_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        data = [5.0, 1.0 + 4.0, 9.0]  # deliberately unsorted values equal check below
+        sorted_data = sorted([1.0, 5.0, 9.0])
+        assert percentile(sorted_data, 0.0) == 1.0
+        assert percentile(sorted_data, 100.0) == 9.0
+
+    def test_single_element(self):
+        assert percentile([3.5], 75.0) == 3.5
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 150.0)
+
+
+class TestSummarize:
+    def test_empty_sample(self):
+        summary = summarize([])
+        assert summary == DistributionSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def test_basic_statistics(self):
+        summary = summarize([2.0, 4.0, 6.0])
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(4.0)
+        assert summary.minimum == 2.0
+        assert summary.maximum == 6.0
+        assert summary.median == pytest.approx(4.0)
+        assert summary.stddev == pytest.approx((8.0 / 3.0) ** 0.5)
+
+    def test_constant_sample_has_zero_stddev(self):
+        assert summarize([5.0] * 10).stddev == 0.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+    def test_property_bounds_and_mean(self, values):
+        summary = summarize(values)
+        tolerance = 1e-6 * (abs(summary.maximum) + abs(summary.minimum) + 1.0)
+        assert summary.minimum - tolerance <= summary.mean <= summary.maximum + tolerance
+        assert summary.minimum <= summary.median <= summary.maximum
+        assert summary.count == len(values)

@@ -1,0 +1,68 @@
+"""Tests for the step mobility model."""
+
+import pytest
+
+from repro.mobility.step import StepMobilityModel
+from repro.sim.rng import RandomStreams
+from repro.topology.field import SensorField
+from repro.topology.placement import grid_placement
+
+
+@pytest.fixture
+def field():
+    return SensorField(grid_placement(25, spacing_m=5.0))
+
+
+class TestStepMobility:
+    def test_epoch_moves_expected_number_of_nodes(self, field):
+        model = StepMobilityModel(field, move_fraction=0.2)
+        epoch = model.apply_epoch(RandomStreams(1))
+        assert len(epoch.moved_nodes) == 5
+        assert len(set(epoch.moved_nodes)) == 5
+
+    def test_at_least_one_node_moves(self, field):
+        model = StepMobilityModel(field, move_fraction=0.001)
+        epoch = model.apply_epoch(RandomStreams(2))
+        assert len(epoch.moved_nodes) == 1
+
+    def test_topology_version_bumped(self, field):
+        version = field.topology_version
+        StepMobilityModel(field, move_fraction=0.2).apply_epoch(RandomStreams(3))
+        assert field.topology_version > version
+
+    def test_moved_nodes_stay_inside_bounding_box(self, field):
+        min_x, min_y, max_x, max_y = field.bounding_box()
+        model = StepMobilityModel(field, move_fraction=0.5)
+        model.apply_epoch(RandomStreams(4))
+        for node in field:
+            assert min_x <= node.position.x <= max_x
+            assert min_y <= node.position.y <= max_y
+
+    def test_displacement_bound_respected(self, field):
+        before = {n: field.position(n) for n in field.node_ids}
+        model = StepMobilityModel(field, move_fraction=1.0, max_displacement_m=3.0)
+        model.apply_epoch(RandomStreams(5))
+        for node_id, old in before.items():
+            assert field.position(node_id).distance_to(old) <= 3.0 + 1e-9
+
+    def test_epochs_recorded(self, field):
+        model = StepMobilityModel(field, move_fraction=0.1)
+        model.apply_epoch(RandomStreams(6))
+        model.apply_epoch(RandomStreams(6))
+        assert [e.epoch_index for e in model.epochs] == [0, 1]
+
+    def test_invalid_parameters(self, field):
+        with pytest.raises(ValueError):
+            StepMobilityModel(field, move_fraction=0.0)
+        with pytest.raises(ValueError):
+            StepMobilityModel(field, move_fraction=1.5)
+        with pytest.raises(ValueError):
+            StepMobilityModel(field, max_displacement_m=0.0)
+
+    def test_reproducible_with_same_seed(self):
+        a = SensorField(grid_placement(16, spacing_m=5.0))
+        b = SensorField(grid_placement(16, spacing_m=5.0))
+        StepMobilityModel(a, move_fraction=0.3).apply_epoch(RandomStreams(7))
+        StepMobilityModel(b, move_fraction=0.3).apply_epoch(RandomStreams(7))
+        for node_id in a.node_ids:
+            assert a.position(node_id) == b.position(node_id)

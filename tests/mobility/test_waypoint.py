@@ -1,0 +1,52 @@
+"""Tests for the random-waypoint mobility model."""
+
+import pytest
+
+from repro.mobility.waypoint import RandomWaypointModel
+from repro.sim.rng import RandomStreams
+from repro.topology.field import SensorField
+from repro.topology.placement import grid_placement
+
+
+@pytest.fixture
+def field():
+    return SensorField(grid_placement(9, spacing_m=10.0))
+
+
+class TestRandomWaypoint:
+    def test_advance_moves_nodes(self, field):
+        model = RandomWaypointModel(field)
+        moved = model.advance_to(100.0, RandomStreams(1))
+        assert moved > 0
+
+    def test_zero_time_advance_moves_nothing(self, field):
+        model = RandomWaypointModel(field)
+        assert model.advance_to(0.0, RandomStreams(1)) == 0
+
+    def test_cannot_go_backwards(self, field):
+        model = RandomWaypointModel(field)
+        model.advance_to(10.0, RandomStreams(1))
+        with pytest.raises(ValueError):
+            model.advance_to(5.0, RandomStreams(1))
+
+    def test_positions_stay_in_bounding_box(self, field):
+        min_x, min_y, max_x, max_y = field.bounding_box()
+        model = RandomWaypointModel(field, max_speed_m_per_ms=0.1)
+        for t in (50.0, 100.0, 500.0, 2000.0):
+            model.advance_to(t, RandomStreams(2))
+        for node in field:
+            assert min_x - 1e-9 <= node.position.x <= max_x + 1e-9
+            assert min_y - 1e-9 <= node.position.y <= max_y + 1e-9
+
+    def test_travel_distance_bounded_by_speed(self, field):
+        before = {n: field.position(n) for n in field.node_ids}
+        model = RandomWaypointModel(field, min_speed_m_per_ms=0.001, max_speed_m_per_ms=0.01)
+        model.advance_to(100.0, RandomStreams(3))
+        for node_id, old in before.items():
+            assert field.position(node_id).distance_to(old) <= 0.01 * 100.0 + 1e-9
+
+    def test_invalid_speed_range(self, field):
+        with pytest.raises(ValueError):
+            RandomWaypointModel(field, min_speed_m_per_ms=0.0)
+        with pytest.raises(ValueError):
+            RandomWaypointModel(field, min_speed_m_per_ms=0.01, max_speed_m_per_ms=0.001)

@@ -1,0 +1,66 @@
+"""Tests for the path-loss models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.radio.pathloss import FreeSpacePathLoss, PowerLawPathLoss, TwoRayGroundPathLoss
+
+
+class TestPowerLaw:
+    def test_power_grows_with_distance(self):
+        model = PowerLawPathLoss(alpha=3.5)
+        assert model.required_power(20.0) > model.required_power(10.0)
+
+    def test_alpha_exponent(self):
+        model = PowerLawPathLoss(alpha=2.0, reference_power=1.0)
+        assert model.required_power(3.0) == pytest.approx(9.0)
+
+    def test_energy_ratio(self):
+        model = PowerLawPathLoss(alpha=2.0)
+        assert model.energy_ratio(10.0, 5.0) == pytest.approx(4.0)
+
+    def test_energy_ratio_zero_reference_raises(self):
+        model = PowerLawPathLoss(alpha=2.0)
+        with pytest.raises(ZeroDivisionError):
+            model.energy_ratio(10.0, 0.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PowerLawPathLoss(alpha=0.0)
+        with pytest.raises(ValueError):
+            PowerLawPathLoss(reference_power=0.0)
+        with pytest.raises(ValueError):
+            PowerLawPathLoss().required_power(-1.0)
+
+    def test_free_space_is_square_law(self):
+        assert FreeSpacePathLoss().required_power(4.0) == pytest.approx(16.0)
+
+    @given(st.floats(min_value=0.1, max_value=1e3), st.floats(min_value=1.5, max_value=4.0))
+    def test_property_monotone_in_distance(self, distance, alpha):
+        model = PowerLawPathLoss(alpha=alpha)
+        assert model.required_power(distance * 1.1) > model.required_power(distance)
+
+
+class TestTwoRayGround:
+    def test_near_field_is_free_space(self):
+        model = TwoRayGroundPathLoss(crossover_m=7.0)
+        assert model.required_power(3.0) == pytest.approx(9.0)
+
+    def test_continuous_at_crossover(self):
+        model = TwoRayGroundPathLoss(crossover_m=7.0)
+        below = model.required_power(7.0 - 1e-9)
+        above = model.required_power(7.0 + 1e-9)
+        assert below == pytest.approx(above, rel=1e-6)
+
+    def test_far_field_grows_faster_than_square(self):
+        model = TwoRayGroundPathLoss(crossover_m=7.0)
+        # Doubling the distance beyond the crossover costs more than 4x.
+        assert model.required_power(28.0) / model.required_power(14.0) > 4.0
+
+    def test_invalid_crossover(self):
+        with pytest.raises(ValueError):
+            TwoRayGroundPathLoss(crossover_m=0.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            TwoRayGroundPathLoss().required_power(-5.0)

@@ -1,0 +1,64 @@
+"""The distributed Bellman-Ford must agree with a centralized shortest-path
+solver on route costs (validation of the distributed implementation)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.radio.power import build_power_table_for_radius
+from repro.routing.bellman_ford import DistributedBellmanFord
+from repro.routing.oracle import centralized_routes
+from repro.topology.field import SensorField
+from repro.topology.node import NodeInfo, Position
+from repro.topology.placement import grid_placement
+from repro.topology.zone import ZoneMap
+
+
+def _compare(field, radius):
+    table = build_power_table_for_radius(radius, num_levels=5, alpha=2.0)
+    zones = ZoneMap(field, radius)
+    dbf_tables, _ = DistributedBellmanFord(field, table, zones).compute()
+    oracle_tables = centralized_routes(field, table, zones)
+    for node in field.node_ids:
+        for dest in zones.zone_neighbors(node):
+            dbf_cost = dbf_tables[node].cost(dest)
+            oracle_cost = oracle_tables[node].cost(dest)
+            if oracle_cost is None:
+                continue
+            assert dbf_cost is not None, f"DBF missing route {node}->{dest}"
+            assert dbf_cost == pytest.approx(oracle_cost, rel=1e-9) or dbf_cost >= oracle_cost
+
+
+class TestOracleAgreement:
+    def test_grid_16_nodes_radius_15(self):
+        _compare(SensorField(grid_placement(16, spacing_m=5.0)), 15.0)
+
+    def test_grid_25_nodes_radius_20(self):
+        _compare(SensorField(grid_placement(25, spacing_m=5.0)), 20.0)
+
+    def test_grid_costs_exactly_match_oracle_when_zone_covers_paths(self):
+        field = SensorField(grid_placement(9, spacing_m=5.0))
+        radius = 20.0
+        table = build_power_table_for_radius(radius, num_levels=5, alpha=2.0)
+        zones = ZoneMap(field, radius)
+        dbf_tables, _ = DistributedBellmanFord(field, table, zones).compute()
+        oracle_tables = centralized_routes(field, table, zones)
+        for node in field.node_ids:
+            for dest in zones.zone_neighbors(node):
+                assert dbf_tables[node].cost(dest) == pytest.approx(
+                    oracle_tables[node].cost(dest)
+                )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_property_random_topologies_agree(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        count = rng.randint(4, 12)
+        positions = [(rng.uniform(0, 25), rng.uniform(0, 25)) for _ in range(count)]
+        field = SensorField(
+            [NodeInfo(node_id=i, position=Position(x, y)) for i, (x, y) in enumerate(positions)]
+        )
+        _compare(field, radius=18.0)

@@ -1,0 +1,89 @@
+"""Tests for routing tables."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.routing.table import RouteCandidate, RoutingTable
+
+
+class TestRoutingTable:
+    def make_table(self) -> RoutingTable:
+        table = RoutingTable(owner=0)
+        table.set_candidates(
+            5,
+            [
+                RouteCandidate(next_hop=2, cost=3.0),
+                RouteCandidate(next_hop=1, cost=1.0),
+                RouteCandidate(next_hop=3, cost=2.0),
+            ],
+        )
+        return table
+
+    def test_next_hop_is_cheapest(self):
+        assert self.make_table().next_hop(5) == 1
+
+    def test_cost_of_best_route(self):
+        assert self.make_table().cost(5) == pytest.approx(1.0)
+
+    def test_backup_next_hop_is_second_cheapest_distinct(self):
+        assert self.make_table().backup_next_hop(5) == 3
+
+    def test_exclude_failed_next_hop(self):
+        table = self.make_table()
+        assert table.next_hop(5, exclude={1}) == 3
+        assert table.cost(5, exclude={1, 3}) == pytest.approx(3.0)
+
+    def test_all_excluded_returns_none(self):
+        table = self.make_table()
+        assert table.next_hop(5, exclude={1, 2, 3}) is None
+
+    def test_unknown_destination(self):
+        table = self.make_table()
+        assert table.next_hop(99) is None
+        assert table.cost(99) is None
+        assert table.backup_next_hop(99) is None
+        assert not table.has_route(99)
+
+    def test_no_route_to_self(self):
+        table = RoutingTable(owner=7)
+        with pytest.raises(ValueError):
+            table.set_candidates(7, [RouteCandidate(next_hop=1, cost=1.0)])
+
+    def test_candidates_sorted_by_cost(self):
+        table = self.make_table()
+        costs = [c.cost for c in table.candidates(5)]
+        assert costs == sorted(costs)
+
+    def test_empty_candidates_removes_route(self):
+        table = self.make_table()
+        table.set_candidates(5, [])
+        assert not table.has_route(5)
+
+    def test_clear(self):
+        table = self.make_table()
+        table.clear()
+        assert table.destinations == set()
+        assert table.entry_count() == 0
+
+    def test_entry_count(self):
+        assert self.make_table().entry_count() == 3
+
+    def test_backup_none_when_single_candidate(self):
+        table = RoutingTable(owner=0)
+        table.set_candidates(5, [RouteCandidate(next_hop=1, cost=1.0)])
+        assert table.backup_next_hop(5) is None
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=1, max_value=20), st.floats(min_value=0.1, max_value=100)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_property_next_hop_has_minimum_cost(self, raw):
+        table = RoutingTable(owner=0)
+        candidates = [RouteCandidate(next_hop=nh, cost=c) for nh, c in raw]
+        table.set_candidates(99, candidates)
+        best = table.next_hop(99)
+        best_cost = min(c.cost for c in candidates)
+        assert any(c.next_hop == best and c.cost == best_cost for c in candidates)

@@ -1,0 +1,146 @@
+"""Tests for the simulation loop."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_schedule_runs_at_relative_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5.0]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(3.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [3.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_cancel_prevents_execution(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(1.0, lambda: order.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert order == ["first", "second"]
+        assert sim.now == pytest.approx(2.0)
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_at_bound(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("early"))
+        sim.schedule(10.0, lambda: fired.append("late"))
+        sim.run(until=5.0)
+        assert fired == ["early"]
+        assert sim.now == pytest.approx(5.0)
+        # The late event is still pending and fires on the next run.
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_run_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+        sim.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_stop_when_predicate(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+        sim.run(stop_when=lambda: len(fired) >= 3)
+        assert fired == [0, 1, 2]
+
+    def test_stop_requested_from_handler(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+
+    def test_step_processes_one_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        assert sim.step() is True
+        assert fired == [1]
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(3):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run()
+        assert sim.events_processed == 3
+        assert sim.pending_events == 0
+
+    def test_reset_rewinds_clock_and_clears_queue(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.schedule(5.0, lambda: None)
+        sim.reset()
+        assert sim.now == 0.0
+        assert sim.pending_events == 0
+
+    def test_nested_run_raises(self):
+        sim = Simulator()
+
+        def recurse():
+            sim.run()
+
+        sim.schedule(1.0, recurse)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_clock_never_goes_backwards(self):
+        sim = Simulator()
+        times = []
+        for delay in (5.0, 1.0, 3.0, 2.0, 4.0):
+            sim.schedule(delay, lambda: times.append(sim.now))
+        sim.run()
+        assert times == sorted(times)
+
+
+class TestTrace:
+    def test_trace_records_fired_events(self):
+        sim = Simulator(trace=True)
+        sim.schedule(1.0, lambda: None, name="tick")
+        sim.run()
+        labels = [rec.label for rec in sim.trace_log]
+        assert labels == ["tick"]

@@ -1,0 +1,129 @@
+"""Tests for the event calendar."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.events import Event, EventQueue
+
+
+def _noop() -> None:
+    pass
+
+
+class TestEvent:
+    def test_fire_invokes_action(self):
+        hits = []
+        event = Event(time=1.0, action=lambda: hits.append(1))
+        event.fire()
+        assert hits == [1]
+
+    def test_cancelled_event_does_not_fire(self):
+        hits = []
+        event = Event(time=1.0, action=lambda: hits.append(1))
+        event.cancel()
+        event.fire()
+        assert hits == []
+        assert event.cancelled
+
+    def test_repr_mentions_state(self):
+        event = Event(time=1.0, action=_noop, name="hello")
+        assert "hello" in repr(event)
+
+
+class TestEventQueue:
+    def test_pop_returns_events_in_time_order(self):
+        queue = EventQueue()
+        queue.push(Event(time=3.0, action=_noop, name="c"))
+        queue.push(Event(time=1.0, action=_noop, name="a"))
+        queue.push(Event(time=2.0, action=_noop, name="b"))
+        assert [queue.pop().name for _ in range(3)] == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_in_fifo_order(self):
+        queue = EventQueue()
+        for name in ("first", "second", "third"):
+            queue.push(Event(time=5.0, action=_noop, name=name))
+        assert [queue.pop().name for _ in range(3)] == ["first", "second", "third"]
+
+    def test_pop_skips_cancelled_events(self):
+        queue = EventQueue()
+        keep = queue.push(Event(time=2.0, action=_noop, name="keep"))
+        drop = queue.push(Event(time=1.0, action=_noop, name="drop"))
+        queue.cancel(drop)
+        assert queue.pop() is keep
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_peek_time_ignores_cancelled(self):
+        queue = EventQueue()
+        early = queue.push(Event(time=1.0, action=_noop))
+        queue.push(Event(time=4.0, action=_noop))
+        early.cancel()
+        assert queue.peek_time() == pytest.approx(4.0)
+
+    def test_peek_time_empty_is_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_len_counts_only_live_events(self):
+        queue = EventQueue()
+        a = queue.push(Event(time=1.0, action=_noop))
+        queue.push(Event(time=2.0, action=_noop))
+        assert len(queue) == 2
+        a.cancel()
+        assert len(queue) == 1
+
+    def test_bool_reflects_liveness(self):
+        queue = EventQueue()
+        assert not queue
+        event = queue.push(Event(time=1.0, action=_noop))
+        assert queue
+        event.cancel()
+        assert not queue
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(Event(time=-1.0, action=_noop))
+
+    def test_clear_drops_everything(self):
+        queue = EventQueue()
+        queue.push(Event(time=1.0, action=_noop))
+        queue.clear()
+        assert queue.pop() is None
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=200))
+    def test_property_pop_order_is_sorted(self, times):
+        queue = EventQueue()
+        for t in times:
+            queue.push(Event(time=t, action=_noop))
+        popped = []
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            popped.append(event.time)
+        assert popped == sorted(times)
+        assert len(popped) == len(times)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(min_value=0.0, max_value=1e3), st.booleans()),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_property_cancelled_events_never_pop(self, entries):
+        queue = EventQueue()
+        events = [queue.push(Event(time=t, action=_noop)) for t, _ in entries]
+        expected = []
+        for event, (t, cancel) in zip(events, entries):
+            if cancel:
+                event.cancel()
+            else:
+                expected.append(t)
+        popped = []
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            popped.append(event.time)
+        assert popped == sorted(expected)

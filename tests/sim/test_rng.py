@@ -1,0 +1,65 @@
+"""Tests for named random streams."""
+
+import pytest
+
+from repro.sim.rng import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream_is_reproducible(self):
+        a = RandomStreams(7)
+        b = RandomStreams(7)
+        assert [a.random("x") for _ in range(5)] == [b.random("x") for _ in range(5)]
+
+    def test_different_streams_are_independent(self):
+        rng = RandomStreams(7)
+        first = [rng.random("a") for _ in range(5)]
+        # Drawing from another stream must not perturb the first stream.
+        rng2 = RandomStreams(7)
+        _ = [rng2.random("b") for _ in range(100)]
+        second = [rng2.random("a") for _ in range(5)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1)
+        b = RandomStreams(2)
+        assert [a.random("x") for _ in range(3)] != [b.random("x") for _ in range(3)]
+
+    def test_exponential_mean_is_roughly_right(self):
+        rng = RandomStreams(11)
+        draws = [rng.exponential("e", 10.0) for _ in range(5000)]
+        mean = sum(draws) / len(draws)
+        assert 9.0 < mean < 11.0
+
+    def test_exponential_requires_positive_mean(self):
+        with pytest.raises(ValueError):
+            RandomStreams(0).exponential("e", 0.0)
+
+    def test_uniform_bounds(self):
+        rng = RandomStreams(3)
+        for _ in range(100):
+            value = rng.uniform("u", 2.0, 5.0)
+            assert 2.0 <= value <= 5.0
+
+    def test_uniform_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            RandomStreams(0).uniform("u", 5.0, 2.0)
+
+    def test_randint_inclusive(self):
+        rng = RandomStreams(5)
+        values = {rng.randint("i", 0, 2) for _ in range(200)}
+        assert values == {0, 1, 2}
+
+    def test_choice_and_sample(self):
+        rng = RandomStreams(9)
+        items = [10, 20, 30, 40]
+        assert rng.choice("c", items) in items
+        sample = rng.sample("s", items, 2)
+        assert len(sample) == 2
+        assert set(sample) <= set(items)
+
+    def test_reset_restores_initial_sequences(self):
+        rng = RandomStreams(13)
+        first = [rng.random("x") for _ in range(4)]
+        rng.reset()
+        assert [rng.random("x") for _ in range(4)] == first

@@ -1,0 +1,57 @@
+"""Tests for the trace log."""
+
+from repro.sim.tracing import TraceLog
+
+
+class TestTraceLog:
+    def test_record_and_len(self):
+        log = TraceLog()
+        log.record(1.0, "packet", "ADV A->B")
+        log.record(2.0, "timer", "tau_adv expired")
+        assert len(log) == 2
+        assert log[0].category == "packet"
+
+    def test_filter_by_category(self):
+        log = TraceLog()
+        log.record(1.0, "packet", "ADV")
+        log.record(2.0, "timer", "tau_adv")
+        log.record(3.0, "packet", "REQ")
+        assert [r.label for r in log.filter(category="packet")] == ["ADV", "REQ"]
+
+    def test_filter_by_label_substring(self):
+        log = TraceLog()
+        log.record(1.0, "packet", "ADV A->B")
+        log.record(2.0, "packet", "DATA A->B")
+        assert len(log.filter(label_contains="DATA")) == 1
+
+    def test_filter_by_predicate(self):
+        log = TraceLog()
+        log.record(1.0, "packet", "x")
+        log.record(5.0, "packet", "y")
+        late = log.filter(predicate=lambda r: r.time > 2.0)
+        assert [r.label for r in late] == ["y"]
+
+    def test_clear(self):
+        log = TraceLog()
+        log.record(1.0, "packet", "x")
+        log.clear()
+        assert len(log) == 0
+
+    def test_format_renders_lines(self):
+        log = TraceLog()
+        log.record(1.0, "packet", "ADV")
+        log.record(2.0, "packet", "REQ")
+        text = log.format()
+        assert "ADV" in text and "REQ" in text
+        assert len(text.splitlines()) == 2
+
+    def test_format_with_limit(self):
+        log = TraceLog()
+        for i in range(5):
+            log.record(float(i), "packet", f"p{i}")
+        assert len(log.format(limit=2).splitlines()) == 2
+
+    def test_iteration(self):
+        log = TraceLog()
+        log.record(1.0, "a", "x")
+        assert [r.time for r in log] == [1.0]

@@ -1,0 +1,59 @@
+"""Tests for the weighted zone graph."""
+
+import pytest
+
+from repro.radio.power import build_power_table_for_radius
+from repro.topology.graph import all_pairs_costs, build_zone_graph, link_cost
+from repro.topology.zone import ZoneMap
+
+
+@pytest.fixture
+def zone_graph(small_field, power_table_20m):
+    zones = ZoneMap(small_field, 20.0)
+    return build_zone_graph(small_field, power_table_20m, 4, zones.zone_neighbors(4))
+
+
+class TestLinkCost:
+    def test_cost_is_power_of_lowest_sufficient_level(self, small_field, power_table_20m):
+        cost = link_cost(small_field, power_table_20m, 4, 1)  # 5 m apart
+        assert cost == pytest.approx(power_table_20m.level_for_distance(5.0).power_mw)
+
+    def test_out_of_range_is_none(self, small_field):
+        short_table = build_power_table_for_radius(6.0, num_levels=2)
+        assert link_cost(small_field, short_table, 0, 8) is None
+
+
+class TestZoneGraph:
+    def test_contains_all_zone_members(self, zone_graph):
+        assert zone_graph.nodes == set(range(9))
+        assert zone_graph.center == 4
+
+    def test_direct_edges_exist_within_range(self, zone_graph):
+        assert zone_graph.has_edge(0, 8)  # 14.1 m, within 20 m
+        assert zone_graph.has_edge(4, 1)
+
+    def test_shortest_path_prefers_short_hops(self, zone_graph):
+        # Corner to corner: two 5 m hops are cheaper than one 10 m hop under
+        # the square-law power table.
+        path = zone_graph.shortest_path(0, 2)
+        assert path is not None
+        assert len(path) >= 3
+        assert path[0] == 0 and path[-1] == 2
+
+    def test_shortest_path_cost_matches_edge_sums(self, zone_graph):
+        path = zone_graph.shortest_path(0, 2)
+        total = sum(zone_graph.edge_weight(a, b) for a, b in zip(path, path[1:]))
+        assert zone_graph.shortest_path_cost(0, 2) == pytest.approx(total)
+
+    def test_unreachable_returns_none(self, small_field, power_table_20m):
+        graph = build_zone_graph(small_field, power_table_20m, 0, [])
+        assert graph.shortest_path(0, 5) is None
+        assert graph.shortest_path_cost(0, 5) is None
+
+    def test_neighbors(self, zone_graph):
+        assert set(zone_graph.neighbors(4)) == set(range(9)) - {4}
+
+    def test_all_pairs_costs_symmetric(self, zone_graph):
+        costs = all_pairs_costs(zone_graph)
+        assert costs[(0, 8)] == pytest.approx(costs[(8, 0)])
+        assert costs[(4, 4)] == 0.0

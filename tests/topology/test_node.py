@@ -1,0 +1,40 @@
+"""Tests for positions and node info."""
+
+import pytest
+
+from repro.topology.node import NodeInfo, Position
+
+
+class TestPosition:
+    def test_distance_is_euclidean(self):
+        assert Position(0, 0).distance_to(Position(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_is_symmetric(self):
+        a, b = Position(1.5, 2.5), Position(-3.0, 7.0)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_distance_to_self_is_zero(self):
+        p = Position(2.0, 3.0)
+        assert p.distance_to(p) == 0.0
+
+    def test_moved_by_returns_new_position(self):
+        p = Position(1.0, 1.0)
+        q = p.moved_by(2.0, -1.0)
+        assert (q.x, q.y) == (3.0, 0.0)
+        assert (p.x, p.y) == (1.0, 1.0)
+
+    def test_positions_are_hashable_and_comparable(self):
+        assert Position(1, 2) == Position(1, 2)
+        assert len({Position(1, 2), Position(1, 2)}) == 1
+
+
+class TestNodeInfo:
+    def test_distance_between_nodes(self):
+        a = NodeInfo(0, Position(0, 0))
+        b = NodeInfo(1, Position(0, 10))
+        assert a.distance_to(b) == pytest.approx(10.0)
+
+    def test_position_is_mutable_for_mobility(self):
+        node = NodeInfo(0, Position(0, 0))
+        node.position = Position(5, 5)
+        assert node.position == Position(5, 5)

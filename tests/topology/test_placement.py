@@ -1,0 +1,69 @@
+"""Tests for node placement strategies."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology.placement import grid_placement, random_placement
+
+
+class TestGridPlacement:
+    def test_perfect_square_forms_square_grid(self):
+        nodes = grid_placement(9, spacing_m=5.0)
+        xs = sorted({n.position.x for n in nodes})
+        ys = sorted({n.position.y for n in nodes})
+        assert xs == [0.0, 5.0, 10.0]
+        assert ys == [0.0, 5.0, 10.0]
+
+    def test_ids_are_sequential(self):
+        nodes = grid_placement(7)
+        assert [n.node_id for n in nodes] == list(range(7))
+
+    def test_non_square_count_fills_rows(self):
+        nodes = grid_placement(5, spacing_m=10.0)
+        assert len(nodes) == 5
+        # Side of the enclosing square is ceil(sqrt(5)) = 3.
+        assert nodes[3].position == nodes[0].position.__class__(0.0, 10.0)
+
+    def test_adjacent_nodes_are_spacing_apart(self):
+        nodes = grid_placement(4, spacing_m=7.0)
+        assert nodes[0].distance_to(nodes[1]) == pytest.approx(7.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            grid_placement(0)
+        with pytest.raises(ValueError):
+            grid_placement(4, spacing_m=0.0)
+
+    @given(st.integers(min_value=1, max_value=300), st.floats(min_value=1.0, max_value=20.0))
+    def test_property_unique_positions_and_count(self, count, spacing):
+        nodes = grid_placement(count, spacing_m=spacing)
+        assert len(nodes) == count
+        assert len({(n.position.x, n.position.y) for n in nodes}) == count
+
+
+class TestRandomPlacement:
+    def test_count_and_ids(self):
+        nodes = random_placement(20, rng=random.Random(1))
+        assert len(nodes) == 20
+        assert [n.node_id for n in nodes] == list(range(20))
+
+    def test_density_controls_area(self):
+        nodes = random_placement(100, density_per_m2=0.01, rng=random.Random(2))
+        side = math.sqrt(100 / 0.01)
+        assert all(0 <= n.position.x <= side and 0 <= n.position.y <= side for n in nodes)
+
+    def test_reproducible_with_same_rng_seed(self):
+        a = random_placement(10, rng=random.Random(5))
+        b = random_placement(10, rng=random.Random(5))
+        assert [(n.position.x, n.position.y) for n in a] == [
+            (n.position.x, n.position.y) for n in b
+        ]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            random_placement(0)
+        with pytest.raises(ValueError):
+            random_placement(5, density_per_m2=0.0)

@@ -1,0 +1,62 @@
+"""Tests for the all-to-all workload."""
+
+import pytest
+
+from repro.core.interests import AllInterested
+from repro.sim.rng import RandomStreams
+from repro.workload.all_to_all import AllToAllWorkload
+
+
+class TestAllToAllWorkload:
+    def test_expected_items(self):
+        workload = AllToAllWorkload(node_ids=[0, 1, 2], packets_per_node=4)
+        assert workload.expected_items == 12
+
+    def test_every_node_originates_its_quota(self):
+        workload = AllToAllWorkload(node_ids=list(range(5)), packets_per_node=3)
+        schedule = workload.generate(RandomStreams(1))
+        per_source = {}
+        for scheduled in schedule:
+            per_source[scheduled.source] = per_source.get(scheduled.source, 0) + 1
+        assert per_source == {i: 3 for i in range(5)}
+
+    def test_everyone_else_is_interested(self):
+        workload = AllToAllWorkload(node_ids=[0, 1, 2], packets_per_node=1)
+        schedule = workload.generate(RandomStreams(2))
+        for scheduled in schedule:
+            assert scheduled.source not in scheduled.interested
+            assert set(scheduled.interested) == {0, 1, 2} - {scheduled.source}
+
+    def test_item_names_unique(self):
+        workload = AllToAllWorkload(node_ids=list(range(4)), packets_per_node=5)
+        schedule = workload.generate(RandomStreams(3))
+        names = [s.item.item_id for s in schedule]
+        assert len(set(names)) == len(names)
+
+    def test_times_sorted_and_item_creation_times_match(self):
+        workload = AllToAllWorkload(node_ids=list(range(4)), packets_per_node=2)
+        schedule = workload.generate(RandomStreams(4))
+        times = [s.time_ms for s in schedule]
+        assert times == sorted(times)
+        assert all(s.item.created_at_ms == s.time_ms for s in schedule)
+
+    def test_interest_model_is_all_interested(self):
+        assert isinstance(AllToAllWorkload([0, 1]).interest_model(), AllInterested)
+
+    def test_data_size_propagates(self):
+        workload = AllToAllWorkload([0, 1], data_size_bytes=64)
+        schedule = workload.generate(RandomStreams(5))
+        assert all(s.item.size_bytes == 64 for s in schedule)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AllToAllWorkload([])
+        with pytest.raises(ValueError):
+            AllToAllWorkload([0], packets_per_node=0)
+        with pytest.raises(ValueError):
+            AllToAllWorkload([0], data_size_bytes=0)
+
+    def test_reproducible(self):
+        a = AllToAllWorkload(list(range(6)), packets_per_node=2).generate(RandomStreams(9))
+        b = AllToAllWorkload(list(range(6)), packets_per_node=2).generate(RandomStreams(9))
+        assert [(s.time_ms, s.source) for s in a] == [(s.time_ms, s.source) for s in b]

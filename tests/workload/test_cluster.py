@@ -1,0 +1,107 @@
+"""Tests for the cluster-based hierarchical workload."""
+
+import math
+
+import pytest
+
+from repro.sim.rng import RandomStreams
+from repro.topology.field import SensorField
+from repro.topology.placement import grid_placement
+from repro.topology.zone import ZoneMap
+from repro.workload.cluster import ClusterWorkload, select_cluster_heads
+
+
+@pytest.fixture
+def field():
+    return SensorField(grid_placement(36, spacing_m=5.0))
+
+
+@pytest.fixture
+def zones(field):
+    return ZoneMap(field, 20.0)
+
+
+class TestSelectClusterHeads:
+    def test_every_node_has_a_head(self, field):
+        heads = select_cluster_heads(field, cluster_size_m=15.0)
+        assert set(heads) == set(field.node_ids)
+
+    def test_heads_map_to_themselves(self, field):
+        heads = select_cluster_heads(field, cluster_size_m=15.0)
+        for head in set(heads.values()):
+            assert heads[head] == head
+
+    def test_members_are_within_cell_diagonal_of_their_head(self, field):
+        size = 15.0
+        heads = select_cluster_heads(field, cluster_size_m=size)
+        for node, head in heads.items():
+            assert field.distance(node, head) <= size * math.sqrt(2) + 1e-9
+
+    def test_smaller_cells_make_more_clusters(self, field):
+        few = len(set(select_cluster_heads(field, cluster_size_m=30.0).values()))
+        many = len(set(select_cluster_heads(field, cluster_size_m=10.0).values()))
+        assert many > few
+
+    def test_invalid_size(self, field):
+        with pytest.raises(ValueError):
+            select_cluster_heads(field, cluster_size_m=0.0)
+
+
+class TestClusterWorkload:
+    def test_members_exclude_heads(self, field, zones):
+        workload = ClusterWorkload(field, zones)
+        heads = set(workload.cluster_heads)
+        assert heads.isdisjoint(workload.members)
+        assert len(heads) + len(workload.members) == len(field)
+
+    def test_expected_items(self, field, zones):
+        workload = ClusterWorkload(field, zones, packets_per_member=2)
+        assert workload.expected_items == 2 * len(workload.members)
+
+    def test_head_always_interested(self, field, zones):
+        workload = ClusterWorkload(field, zones, packets_per_member=1)
+        schedule = workload.generate(RandomStreams(1))
+        for scheduled in schedule:
+            assert workload.head_of[scheduled.source] in scheduled.interested
+
+    def test_head_is_in_sources_zone(self, field, zones):
+        workload = ClusterWorkload(field, zones, packets_per_member=1)
+        for member in workload.members:
+            head = workload.head_of[member]
+            assert field.distance(member, head) <= zones.radius_m + 1e-9
+
+    def test_bystander_interest_rate_close_to_probability(self, field, zones):
+        workload = ClusterWorkload(
+            field, zones, packets_per_member=3, member_interest_probability=0.05
+        )
+        schedule = workload.generate(RandomStreams(2))
+        extra = sum(len(s.interested) - 1 for s in schedule)
+        possible = sum(zones.zone_size(s.source) - 1 for s in schedule)
+        rate = extra / possible
+        assert 0.0 < rate < 0.15
+
+    def test_zero_probability_means_only_heads(self, field, zones):
+        workload = ClusterWorkload(
+            field, zones, packets_per_member=1, member_interest_probability=0.0
+        )
+        schedule = workload.generate(RandomStreams(3))
+        assert all(len(s.interested) == 1 for s in schedule)
+
+    def test_interest_model_populated_by_generate(self, field, zones):
+        workload = ClusterWorkload(field, zones, packets_per_member=1)
+        schedule = workload.generate(RandomStreams(4))
+        model = workload.interest_model()
+        sample = schedule[0]
+        head = workload.head_of[sample.source]
+        assert model.is_interested(head, sample.item.descriptor, source=sample.source)
+
+    def test_schedule_sorted_by_time(self, field, zones):
+        workload = ClusterWorkload(field, zones, packets_per_member=2)
+        times = [s.time_ms for s in workload.generate(RandomStreams(5))]
+        assert times == sorted(times)
+
+    def test_invalid_parameters(self, field, zones):
+        with pytest.raises(ValueError):
+            ClusterWorkload(field, zones, packets_per_member=0)
+        with pytest.raises(ValueError):
+            ClusterWorkload(field, zones, member_interest_probability=2.0)

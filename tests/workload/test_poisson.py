@@ -1,0 +1,38 @@
+"""Tests for the Poisson arrival process."""
+
+import pytest
+
+from repro.sim.rng import RandomStreams
+from repro.workload.poisson import PoissonArrivals
+
+
+class TestPoissonArrivals:
+    def test_times_are_increasing(self):
+        times = PoissonArrivals(1.0).times(100, RandomStreams(1))
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_count(self):
+        assert len(PoissonArrivals().times(25, RandomStreams(2))) == 25
+        assert PoissonArrivals().times(0, RandomStreams(2)) == []
+
+    def test_mean_gap_close_to_parameter(self):
+        times = PoissonArrivals(2.0).times(5000, RandomStreams(3))
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert 1.85 < sum(gaps) / len(gaps) < 2.15
+
+    def test_start_offset(self):
+        times = PoissonArrivals(1.0, start_ms=100.0).times(5, RandomStreams(4))
+        assert all(t > 100.0 for t in times)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+        with pytest.raises(ValueError):
+            PoissonArrivals(1.0, start_ms=-1.0)
+        with pytest.raises(ValueError):
+            PoissonArrivals().times(-1, RandomStreams(0))
+
+    def test_reproducible(self):
+        a = PoissonArrivals(1.0).times(10, RandomStreams(7))
+        b = PoissonArrivals(1.0).times(10, RandomStreams(7))
+        assert a == b
