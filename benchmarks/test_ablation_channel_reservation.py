@@ -13,7 +13,7 @@ from repro.experiments.config import SimulationConfig
 from repro.experiments.runner import run_scenario
 from repro.experiments.scenarios import all_to_all_scenario
 
-from conftest import emit, run_once
+from benchmarks.conftest import emit, run_once
 
 
 def test_ablation_channel_reservation(benchmark, figure_scale):

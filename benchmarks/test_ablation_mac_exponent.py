@@ -12,7 +12,7 @@ from repro.experiments.runner import ExperimentRunner
 from repro.experiments.scenarios import all_to_all_scenario
 from repro.mac.contention import PolynomialContention
 
-from conftest import emit, run_once
+from benchmarks.conftest import emit, run_once
 
 EXPONENTS = (1.0, 2.0, 3.0)
 

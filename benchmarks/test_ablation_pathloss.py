@@ -16,7 +16,7 @@ from repro.experiments.runner import run_scenario
 from repro.experiments.scenarios import all_to_all_scenario
 from repro.radio.power import build_power_table_for_radius
 
-from conftest import emit, run_once
+from benchmarks.conftest import emit, run_once
 
 ALPHAS = (2.0, 3.0, 3.5)
 RADIUS_M = 20.0

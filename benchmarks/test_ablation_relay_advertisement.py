@@ -10,7 +10,7 @@ from repro.experiments.config import SimulationConfig
 from repro.experiments.runner import run_scenario
 from repro.experiments.scenarios import ScenarioSpec
 
-from conftest import emit, run_once
+from benchmarks.conftest import emit, run_once
 
 
 def _spec(readvertise: bool, figure_scale) -> ScenarioSpec:

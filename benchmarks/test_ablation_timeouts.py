@@ -12,7 +12,7 @@ from repro.experiments.config import SimulationConfig
 from repro.experiments.runner import run_scenario
 from repro.experiments.scenarios import ScenarioSpec
 
-from conftest import emit, run_once
+from benchmarks.conftest import emit, run_once
 
 TOUT_ADV_VALUES = (1.0, 2.0, 8.0, 25.0)
 

@@ -14,7 +14,7 @@ from repro.experiments.config import MobilityConfig, SimulationConfig
 from repro.experiments.runner import run_scenario
 from repro.experiments.scenarios import all_to_all_scenario
 
-from conftest import emit, run_once
+from benchmarks.conftest import emit, run_once
 
 
 def test_breakeven_mobility(benchmark, figure_scale):

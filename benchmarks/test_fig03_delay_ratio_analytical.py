@@ -9,7 +9,7 @@ import pytest
 from repro.analysis.delay_model import AnalysisParameters, delay_ratio
 from repro.experiments.figures import figure3_delay_ratio
 
-from conftest import print_series, run_once
+from benchmarks.conftest import print_series, run_once
 
 
 def test_fig03_delay_ratio(benchmark):

@@ -8,7 +8,7 @@ import pytest
 
 from repro.experiments.figures import figure5_energy_ratio
 
-from conftest import print_series, run_once
+from benchmarks.conftest import print_series, run_once
 
 
 def test_fig05_energy_ratio(benchmark):

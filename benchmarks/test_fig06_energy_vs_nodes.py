@@ -7,7 +7,7 @@ as the sensor field grows (SPIN's curve has the higher slope).
 from repro.experiments.claims import energy_savings_across
 from repro.experiments.figures import figure6_energy_vs_nodes
 
-from conftest import emit, print_figure, run_once
+from benchmarks.conftest import emit, print_figure, run_once
 
 
 def test_fig06_energy_vs_nodes(benchmark, figure_scale):

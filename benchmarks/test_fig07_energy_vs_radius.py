@@ -9,7 +9,7 @@ maximum-power transmissions.
 from repro.experiments.claims import energy_savings_across
 from repro.experiments.figures import figure7_energy_vs_radius
 
-from conftest import emit, print_figure, run_once
+from benchmarks.conftest import emit, print_figure, run_once
 
 
 def test_fig07_energy_vs_radius(benchmark, figure_scale):

@@ -9,7 +9,7 @@ but consistently positive gap — see EXPERIMENTS.md.)
 from repro.experiments.claims import delay_ratios_across
 from repro.experiments.figures import figure8_delay_vs_nodes
 
-from conftest import emit, print_figure, run_once
+from benchmarks.conftest import emit, print_figure, run_once
 
 
 def test_fig08_delay_vs_nodes(benchmark, figure_scale):

@@ -11,7 +11,7 @@ EXPERIMENTS.md for the discussion.)
 from repro.experiments.claims import delay_ratios_across
 from repro.experiments.figures import figure9_delay_vs_radius
 
-from conftest import emit, print_figure, run_once
+from benchmarks.conftest import emit, print_figure, run_once
 
 
 def test_fig09_delay_vs_radius(benchmark, figure_scale):

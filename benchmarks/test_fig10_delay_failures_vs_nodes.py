@@ -9,7 +9,7 @@ failures).
 
 from repro.experiments.figures import figure10_delay_failures_vs_nodes
 
-from conftest import emit, print_figure, run_once
+from benchmarks.conftest import emit, print_figure, run_once
 
 
 def test_fig10_delay_failures_vs_nodes(benchmark, figure_scale):

@@ -7,7 +7,7 @@ failures force timeout-driven recovery.
 
 from repro.experiments.figures import figure11_delay_failures_vs_radius
 
-from conftest import print_figure, run_once
+from benchmarks.conftest import print_figure, run_once
 
 
 def test_fig11_delay_failures_vs_radius(benchmark, figure_scale):

@@ -8,7 +8,7 @@ whose energy is charged to SPMS.
 from repro.experiments.claims import energy_savings_across
 from repro.experiments.figures import figure12_energy_mobility
 
-from conftest import emit, print_figure, run_once
+from benchmarks.conftest import emit, print_figure, run_once
 
 
 def test_fig12_energy_mobility(benchmark, figure_scale):

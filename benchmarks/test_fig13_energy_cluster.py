@@ -9,7 +9,7 @@ the cluster head), and the failure runs cost more than the failure-free runs.
 from repro.experiments.claims import energy_savings_across
 from repro.experiments.figures import figure13_energy_cluster
 
-from conftest import emit, print_figure, run_once
+from benchmarks.conftest import emit, print_figure, run_once
 
 
 def test_fig13_energy_cluster(benchmark, figure_scale):

@@ -18,7 +18,7 @@ from repro.experiments.figures import (
     figure13_energy_cluster,
 )
 
-from conftest import emit, run_once
+from benchmarks.conftest import emit, run_once
 
 
 def test_headline_claims(benchmark, figure_scale):

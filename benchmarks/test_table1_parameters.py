@@ -7,7 +7,7 @@ it is exactly what the experiment configuration uses.
 from repro.experiments.config import SimulationConfig, TABLE1_PARAMETERS
 from repro.experiments.figures import table1_parameters
 
-from conftest import emit, run_once
+from benchmarks.conftest import emit, run_once
 
 
 def test_table1_parameters(benchmark):

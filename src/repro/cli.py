@@ -5,6 +5,9 @@ code:
 
 * ``compare``   — run SPMS and SPIN on the same scenario and print the
   headline metrics (energy per item, average delay, delivery ratio).
+* ``sweep``     — expand a registered scenario matrix into independent jobs
+  and execute them across a worker pool, with optional content-addressed
+  result caching and ``--resume``.
 * ``figure``    — regenerate one of the paper's figures and print its rows.
 * ``list-figures`` — list the available figure names.
 * ``table1``    — print the Table 1 parameter set.
@@ -12,6 +15,9 @@ code:
 Examples::
 
     python -m repro compare --nodes 49 --radius 20
+    python -m repro sweep fig06 --workers 4
+    python -m repro sweep fig06 --workers 4 --cache-dir .sweep-cache --resume
+    python -m repro sweep --list
     python -m repro figure fig6
     python -m repro figure fig3
     python -m repro table1
@@ -20,12 +26,16 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments import figures
 from repro.experiments.claims import delay_ratio, energy_saving_percent
 from repro.experiments.config import FailureConfig, MobilityConfig, SimulationConfig
+from repro.experiments.executor import assemble_sweep, execute_jobs
+from repro.experiments.matrix import available_matrices, get_matrix
+from repro.experiments.results import ResultCache, ScenarioResult
 from repro.experiments.runner import run_scenario
 from repro.experiments.scenarios import all_to_all_scenario, cluster_scenario
 
@@ -74,6 +84,42 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--failures", action="store_true", help="inject transient failures")
     compare.add_argument("--mobility", action="store_true", help="enable step mobility")
 
+    sweep = subparsers.add_parser(
+        "sweep", help="run a registered scenario matrix across a worker pool"
+    )
+    sweep.add_argument(
+        "matrix", nargs="?", default=None,
+        help="registered matrix name (see --list), e.g. fig06",
+    )
+    sweep.add_argument("--list", action="store_true", help="list registered matrices")
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = serial; results are identical either way)",
+    )
+    sweep.add_argument(
+        "--scale", choices=("bench", "paper"), default="bench",
+        help="grid size preset for the figure matrices",
+    )
+    sweep.add_argument(
+        "--seed", type=int, default=None,
+        help="override the matrix base seed (per-job seeds derive from it)",
+    )
+    sweep.add_argument(
+        "--cache-dir", default=None,
+        help="directory of the content-addressed result cache (written through)",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="serve jobs already present in --cache-dir instead of re-running",
+    )
+    sweep.add_argument(
+        "--metric", default="energy_per_item_uj",
+        help="ScenarioResult metric printed in the sweep table",
+    )
+    sweep.add_argument(
+        "--quiet", action="store_true", help="suppress per-job progress lines"
+    )
+
     figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
     figure.add_argument("name", choices=sorted(SIMULATED_FIGURES) + sorted(ANALYTICAL_FIGURES))
     figure.add_argument(
@@ -115,6 +161,75 @@ def _cmd_compare(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    if args.list or args.matrix is None:
+        out("registered scenario matrices:")
+        for name in available_matrices():
+            out(f"  {name}")
+        if args.matrix is None and not args.list:
+            out("pick one: repro sweep <matrix> [--workers N]")
+            return 2
+        return 0
+    if args.resume and not args.cache_dir:
+        out("--resume needs --cache-dir (there is no cache to resume from)")
+        return 2
+    scale = figures.paper_scale() if args.scale == "paper" else figures.bench_scale()
+    try:
+        matrix = get_matrix(args.matrix, scale=scale)
+    except KeyError as exc:
+        out(str(exc))
+        return 2
+    if args.seed is not None:
+        matrix = dataclasses.replace(
+            matrix, base_config=matrix.base_config.with_overrides(seed=args.seed)
+        )
+    metric_names = sorted(f.name for f in dataclasses.fields(ScenarioResult))
+    if args.metric not in metric_names:
+        out(f"unknown metric {args.metric!r}; choose from: {', '.join(metric_names)}")
+        return 2
+    jobs = matrix.expand()
+    out(
+        f"sweep {matrix.name}: {len(jobs)} jobs "
+        f"({matrix.parameter} x {sorted(set(j.protocol for j in jobs))}), "
+        f"workers={args.workers}, seed_policy={matrix.seed_policy}"
+    )
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+
+    def progress(job, result, from_cache):
+        if args.quiet:
+            return
+        source = "cache" if from_cache else "run"
+        out(
+            f"  [{source:>5}] {job.key}: energy/item={result.energy_per_item_uj:.3f} uJ, "
+            f"delay={result.average_delay_ms:.2f} ms, delivered={result.delivery_ratio:.0%}"
+        )
+
+    results, report = execute_jobs(
+        jobs,
+        workers=args.workers,
+        cache=cache,
+        resume=args.resume,
+        progress=progress,
+        merge_metrics=True,
+    )
+    sweep = assemble_sweep(jobs, results)
+    out("")
+    out(sweep.format_table(args.metric))
+    out("")
+    out(
+        f"{report.executed} simulated, {report.cache_hits} from cache, "
+        f"{report.workers} worker(s), {report.elapsed_s:.2f} s wall-clock"
+    )
+    merged = report.merged_metrics
+    if merged is not None and merged.items_generated:
+        out(
+            f"aggregate: {merged.items_generated} items, "
+            f"{merged.delay.deliveries_completed} deliveries, "
+            f"{merged.total_energy_uj:.1f} uJ total energy"
+        )
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     if args.name in ANALYTICAL_FIGURES:
         generator, description = ANALYTICAL_FIGURES[args.name]
@@ -149,6 +264,8 @@ def main(argv: Optional[Sequence[str]] = None, out: Callable[[str], None] = prin
     args = build_parser().parse_args(argv)
     if args.command == "compare":
         return _cmd_compare(args, out)
+    if args.command == "sweep":
+        return _cmd_sweep(args, out)
     if args.command == "figure":
         return _cmd_figure(args, out)
     if args.command == "list-figures":

@@ -27,6 +27,10 @@ class DataCache:
             raise ValueError(f"capacity must be positive or None, got {capacity}")
         self.capacity = capacity
         self._items: "OrderedDict[str, DataItem]" = OrderedDict()
+        # Coverage checks only ever succeed through items that carry a region
+        # (region-less descriptors cover nothing but their own name, which the
+        # O(1) name lookup already handles), so only those are scanned.
+        self._regioned: "OrderedDict[str, DataItem]" = OrderedDict()
         self.evictions = 0
 
     def __len__(self) -> int:
@@ -40,10 +44,15 @@ class DataCache:
         key = item.descriptor.name
         if key in self._items:
             self._items.move_to_end(key)
+            if key in self._regioned:
+                self._regioned.move_to_end(key)
             return
         self._items[key] = item
+        if item.descriptor.region is not None:
+            self._regioned[key] = item
         if self.capacity is not None and len(self._items) > self.capacity:
-            self._items.popitem(last=False)
+            evicted_key, _ = self._items.popitem(last=False)
+            self._regioned.pop(evicted_key, None)
             self.evictions += 1
 
     def has(self, descriptor: DataDescriptor) -> bool:
@@ -54,16 +63,22 @@ class DataCache:
         """
         if descriptor.name in self._items:
             self._items.move_to_end(descriptor.name)
+            if descriptor.name in self._regioned:
+                self._regioned.move_to_end(descriptor.name)
             return True
-        return any(item.descriptor.covers(descriptor) for item in self._items.values())
+        if not self._regioned:
+            return False
+        return any(item.descriptor.covers(descriptor) for item in self._regioned.values())
 
     def get(self, descriptor: DataDescriptor) -> Optional[DataItem]:
         """Return the cached item for *descriptor* (exact name or coverage)."""
         item = self._items.get(descriptor.name)
         if item is not None:
             self._items.move_to_end(descriptor.name)
+            if descriptor.name in self._regioned:
+                self._regioned.move_to_end(descriptor.name)
             return item
-        for candidate in self._items.values():
+        for candidate in self._regioned.values():
             if candidate.descriptor.covers(descriptor):
                 return candidate
         return None
@@ -75,3 +90,4 @@ class DataCache:
     def clear(self) -> None:
         """Drop everything."""
         self._items.clear()
+        self._regioned.clear()

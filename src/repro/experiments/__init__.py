@@ -8,6 +8,12 @@ routing, protocol nodes, workload, failures, mobility), runs it, and returns a
 Every figure of the paper's evaluation has a generator in
 :mod:`repro.experiments.figures`; the benchmark files under ``benchmarks/``
 simply call those generators and print the resulting rows.
+
+Sweeps are declared as :class:`~repro.experiments.matrix.ScenarioMatrix`
+parameter grids, expanded into independent seed-derived jobs and executed —
+serially or across a ``multiprocessing`` pool — by
+:mod:`repro.experiments.executor`, with content-addressed result caching in
+:class:`~repro.experiments.results.ResultCache`.
 """
 
 from repro.experiments.config import (
@@ -16,7 +22,15 @@ from repro.experiments.config import (
     SimulationConfig,
     TABLE1_PARAMETERS,
 )
-from repro.experiments.results import ScenarioResult, SweepResult
+from repro.experiments.executor import ExecutionReport, execute_jobs
+from repro.experiments.matrix import (
+    ScenarioMatrix,
+    SweepJob,
+    available_matrices,
+    get_matrix,
+    register_matrix,
+)
+from repro.experiments.results import ResultCache, ScenarioResult, SweepResult
 from repro.experiments.runner import ExperimentRunner, run_scenario
 from repro.experiments.sandbox import Sandbox, build_sandbox, line_positions
 from repro.experiments.scenarios import (
@@ -25,25 +39,34 @@ from repro.experiments.scenarios import (
     cluster_scenario,
     single_pair_scenario,
 )
-from repro.experiments.sweep import sweep_nodes, sweep_radius
+from repro.experiments.sweep import run_matrix, sweep_nodes, sweep_radius
 from repro.experiments import claims, figures
 
 __all__ = [
+    "ExecutionReport",
     "ExperimentRunner",
     "FailureConfig",
     "MobilityConfig",
+    "ResultCache",
     "Sandbox",
+    "ScenarioMatrix",
     "ScenarioResult",
     "ScenarioSpec",
     "SimulationConfig",
+    "SweepJob",
     "SweepResult",
     "TABLE1_PARAMETERS",
     "all_to_all_scenario",
+    "available_matrices",
     "build_sandbox",
     "claims",
     "cluster_scenario",
+    "execute_jobs",
     "figures",
+    "get_matrix",
     "line_positions",
+    "register_matrix",
+    "run_matrix",
     "run_scenario",
     "single_pair_scenario",
     "sweep_nodes",

@@ -1,0 +1,186 @@
+"""Parallel execution of expanded sweep jobs.
+
+The executor takes the flat job list produced by
+:meth:`repro.experiments.matrix.ScenarioMatrix.expand` and runs it either
+serially (``workers <= 1``; zero multiprocessing overhead) or across a
+``multiprocessing`` pool.  Because every job is self-contained and carries its
+own derived seed, the two paths produce **identical** results — the
+determinism regression tests assert byte-equality of the serialised metrics.
+
+Results are keyed by the job's stable key (never by completion order), and an
+optional :class:`~repro.experiments.results.ResultCache` gives content-addressed
+persistence: with ``resume=True`` previously completed jobs are served from
+disk, so an interrupted sweep restarts where it stopped.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.matrix import SweepJob
+from repro.experiments.results import (
+    ResultCache,
+    ScenarioResult,
+    SweepResult,
+    spec_fingerprint,
+)
+from repro.experiments.runner import ExperimentRunner, run_scenario
+from repro.metrics.collector import MetricsCollector
+
+#: Environment variable consulted for the default worker count (used by the
+#: figure generators and benchmarks so `REPRO_SWEEP_WORKERS=4 pytest
+#: benchmarks` parallelises every figure without code changes).
+WORKERS_ENV_VAR = "REPRO_SWEEP_WORKERS"
+
+ProgressCallback = Callable[[SweepJob, ScenarioResult, bool], None]
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_SWEEP_WORKERS`` (defaults to serial)."""
+    try:
+        return max(1, int(os.environ.get(WORKERS_ENV_VAR, "1")))
+    except ValueError:
+        return 1
+
+
+@dataclass
+class ExecutionReport:
+    """Bookkeeping of one :func:`execute_jobs` call.
+
+    Attributes:
+        total_jobs: Jobs requested.
+        executed: Jobs actually simulated.
+        cache_hits: Jobs served from the result cache.
+        workers: Worker processes used (1 = serial in-process).
+        elapsed_s: Wall-clock duration of the whole execution.
+        job_keys: Keys in expansion order (provenance).
+    """
+
+    total_jobs: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    workers: int = 1
+    elapsed_s: float = 0.0
+    job_keys: List[str] = field(default_factory=list)
+    merged_metrics: Optional[MetricsCollector] = None
+
+
+def _run_job(job: SweepJob) -> Tuple[int, ScenarioResult]:
+    """Worker entry point: run one job (module-level, hence picklable)."""
+    return job.index, run_scenario(job.spec)
+
+
+def _run_job_with_metrics(
+    job: SweepJob,
+) -> Tuple[int, ScenarioResult, MetricsCollector]:
+    """Worker entry point that also ships the shard's full metrics collector."""
+    runner = ExperimentRunner(job.spec)
+    result = runner.run()
+    return job.index, result, runner.metrics
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Fork where available (cheap on Linux), otherwise spawn."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platforms without fork
+        return multiprocessing.get_context("spawn")
+
+
+def execute_jobs(
+    jobs: Sequence[SweepJob],
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    resume: bool = False,
+    progress: Optional[ProgressCallback] = None,
+    merge_metrics: bool = False,
+) -> Tuple[Dict[str, ScenarioResult], ExecutionReport]:
+    """Run every job and return ``(results_by_key, report)``.
+
+    Args:
+        jobs: Expanded sweep jobs (any order; results are keyed, not ordered).
+        workers: Worker processes; ``<= 1`` runs serially in-process.
+        cache: Optional content-addressed result store.  When given, completed
+            jobs are always written through to it.
+        resume: When true (and *cache* is given), jobs whose fingerprint is
+            already cached are not re-simulated.
+        progress: Optional callback ``(job, result, from_cache)`` invoked as
+            each job completes (serial: in order; parallel: completion order).
+        merge_metrics: Ship every shard's :class:`MetricsCollector` back and
+            fold them (namespaced by job key) into ``report.merged_metrics``
+            for a sweep-wide energy/delay/traffic view.  Cache hits carry no
+            collector, so the merged view only covers executed jobs.
+
+    Returns:
+        A dict mapping job key to its :class:`ScenarioResult`, plus the
+        :class:`ExecutionReport`.
+    """
+    started = time.perf_counter()
+    report = ExecutionReport(
+        total_jobs=len(jobs), workers=max(1, int(workers)), job_keys=[j.key for j in jobs]
+    )
+    if merge_metrics:
+        report.merged_metrics = MetricsCollector()
+    results: Dict[str, ScenarioResult] = {}
+
+    pending: List[SweepJob] = []
+    fingerprints: Dict[int, str] = {}
+    for job in jobs:
+        if cache is not None:
+            fingerprints[job.index] = spec_fingerprint(job.spec)
+        if cache is not None and resume:
+            hit = cache.load(fingerprints[job.index])
+            if hit is not None:
+                results[job.key] = hit
+                report.cache_hits += 1
+                if progress is not None:
+                    progress(job, hit, True)
+                continue
+        pending.append(job)
+
+    by_index = {job.index: job for job in pending}
+    run_one = _run_job_with_metrics if merge_metrics else _run_job
+
+    def complete(index: int, result: ScenarioResult, metrics=None) -> None:
+        job = by_index[index]
+        results[job.key] = result
+        report.executed += 1
+        if metrics is not None and report.merged_metrics is not None:
+            report.merged_metrics.merge(metrics, item_prefix=job.key + "/")
+        if cache is not None:
+            cache.store(fingerprints[index], result, spec=job.spec)
+        if progress is not None:
+            progress(job, result, False)
+
+    if report.workers <= 1 or len(pending) <= 1:
+        for job in pending:
+            complete(*run_one(job))
+    else:
+        context = _pool_context()
+        pool_size = min(report.workers, len(pending))
+        with context.Pool(processes=pool_size) as pool:
+            for payload in pool.imap_unordered(run_one, pending, chunksize=1):
+                complete(*payload)
+
+    report.elapsed_s = time.perf_counter() - started
+    return results, report
+
+
+def assemble_sweep(
+    jobs: Sequence[SweepJob], results: Dict[str, ScenarioResult]
+) -> SweepResult:
+    """Fold keyed job results into a :class:`SweepResult`.
+
+    Rows follow the expansion order of *jobs*, so serial and parallel
+    executions (whose completion orders differ) assemble identical sweeps.
+    """
+    if not jobs:
+        return SweepResult(parameter="value")
+    sweep = SweepResult(parameter=jobs[0].parameter)
+    for job in jobs:
+        sweep.add(job.protocol, job.value, results[job.key])
+    return sweep

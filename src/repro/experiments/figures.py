@@ -25,8 +25,10 @@ from repro.experiments.config import (
     SimulationConfig,
     TABLE1_PARAMETERS,
 )
+from repro.experiments.executor import default_workers
+from repro.experiments.matrix import ScenarioMatrix, matrix_from_axes, register_matrix
 from repro.experiments.results import SweepResult
-from repro.experiments.sweep import sweep_nodes, sweep_radius
+from repro.experiments.sweep import run_matrix
 
 
 @dataclass(frozen=True)
@@ -111,6 +113,128 @@ def _cached(kind: str, scale: FigureScale, compute) -> SweepResult:
     return _SWEEP_CACHE[key]
 
 
+# ----------------------------------------------------------- figure matrices
+#
+# Every simulated figure registers its parameter grid in the scenario-matrix
+# registry, so the CLI (`repro sweep fig06 --workers 4`), the figure
+# generators below and the benchmark drivers all expand the very same grid.
+# The grids keep the paper's historical seeding (one shared seed per sweep,
+# `seed_policy="shared"`), which makes the regenerated figures bit-identical
+# to the pre-matrix serial implementation.
+
+
+def _scale_or_bench(scale: "FigureScale | None") -> "FigureScale":
+    return scale if scale is not None else bench_scale()
+
+
+@register_matrix("fig06")
+def fig06_matrix(scale: "FigureScale | None" = None) -> ScenarioMatrix:
+    """Static all-to-all node sweep (Figures 6 and 8 share these runs)."""
+    scale = _scale_or_bench(scale)
+    return matrix_from_axes(
+        "fig06",
+        "num_nodes",
+        scale.node_counts,
+        base_config=scale.base_config(transmission_radius_m=20.0),
+        seed_policy="shared",
+    )
+
+
+@register_matrix("fig07")
+def fig07_matrix(scale: "FigureScale | None" = None) -> ScenarioMatrix:
+    """Static all-to-all radius sweep (Figures 7 and 9 share these runs)."""
+    scale = _scale_or_bench(scale)
+    return matrix_from_axes(
+        "fig07",
+        "transmission_radius_m",
+        scale.radii_m,
+        base_config=scale.base_config(num_nodes=scale.fixed_num_nodes),
+        seed_policy="shared",
+    )
+
+
+@register_matrix("fig10-failures")
+def fig10_failures_matrix(scale: "FigureScale | None" = None) -> ScenarioMatrix:
+    """Node sweep with the Table 1 transient-failure process (Figure 10)."""
+    scale = _scale_or_bench(scale)
+    return matrix_from_axes(
+        "fig10-failures",
+        "num_nodes",
+        scale.node_counts,
+        base_config=scale.base_config(transmission_radius_m=20.0),
+        failures=FailureConfig(),
+        seed_policy="shared",
+    )
+
+
+@register_matrix("fig11-failures")
+def fig11_failures_matrix(scale: "FigureScale | None" = None) -> ScenarioMatrix:
+    """Radius sweep with transient failures (Figure 11)."""
+    scale = _scale_or_bench(scale)
+    return matrix_from_axes(
+        "fig11-failures",
+        "transmission_radius_m",
+        scale.radii_m,
+        base_config=scale.base_config(num_nodes=scale.fixed_num_nodes),
+        failures=FailureConfig(),
+        seed_policy="shared",
+    )
+
+
+@register_matrix("fig12-mobility")
+def fig12_mobility_matrix(scale: "FigureScale | None" = None) -> ScenarioMatrix:
+    """Radius sweep with step mobility (Figure 12)."""
+    scale = _scale_or_bench(scale)
+    return matrix_from_axes(
+        "fig12-mobility",
+        "transmission_radius_m",
+        scale.radii_m,
+        base_config=scale.base_config(
+            num_nodes=scale.fixed_num_nodes,
+            packets_per_node=scale.mobility_packets_per_node,
+        ),
+        mobility=MobilityConfig(),
+        seed_policy="shared",
+    )
+
+
+@register_matrix("fig13-cluster")
+def fig13_cluster_matrix(scale: "FigureScale | None" = None) -> ScenarioMatrix:
+    """Radius sweep under cluster-based hierarchical traffic (Figure 13)."""
+    scale = _scale_or_bench(scale)
+    return matrix_from_axes(
+        "fig13-cluster",
+        "transmission_radius_m",
+        scale.radii_m,
+        base_config=scale.base_config(num_nodes=scale.fixed_num_nodes),
+        workload="cluster",
+        workload_options={"packets_per_member": scale.cluster_packets_per_member},
+        seed_policy="shared",
+    )
+
+
+@register_matrix("fig13-cluster-failures")
+def fig13_cluster_failures_matrix(scale: "FigureScale | None" = None) -> ScenarioMatrix:
+    """Cluster-traffic radius sweep with transient failures (Figure 13)."""
+    scale = _scale_or_bench(scale)
+    return matrix_from_axes(
+        "fig13-cluster-failures",
+        "transmission_radius_m",
+        scale.radii_m,
+        base_config=scale.base_config(num_nodes=scale.fixed_num_nodes),
+        workload="cluster",
+        workload_options={"packets_per_member": scale.cluster_packets_per_member},
+        failures=FailureConfig(),
+        seed_policy="shared",
+    )
+
+
+def _run_registered(matrix: ScenarioMatrix) -> SweepResult:
+    """Execute a figure matrix (worker count from ``REPRO_SWEEP_WORKERS``)."""
+    sweep, _report = run_matrix(matrix, workers=default_workers())
+    return sweep
+
+
 # --------------------------------------------------------------------- Table 1
 
 
@@ -137,25 +261,13 @@ def figure5_energy_ratio(radii: Sequence[int] = tuple(range(1, 31))) -> List[Tup
 
 def _static_node_sweep(scale: FigureScale) -> SweepResult:
     return _cached(
-        "static_nodes",
-        scale,
-        lambda: sweep_nodes(
-            scale.node_counts,
-            protocols=("spms", "spin"),
-            base_config=scale.base_config(transmission_radius_m=20.0),
-        ),
+        "static_nodes", scale, lambda: _run_registered(fig06_matrix(scale))
     )
 
 
 def _static_radius_sweep(scale: FigureScale) -> SweepResult:
     return _cached(
-        "static_radius",
-        scale,
-        lambda: sweep_radius(
-            scale.radii_m,
-            protocols=("spms", "spin"),
-            base_config=scale.base_config(num_nodes=scale.fixed_num_nodes),
-        ),
+        "static_radius", scale, lambda: _run_registered(fig07_matrix(scale))
     )
 
 
@@ -196,14 +308,9 @@ def figure10_delay_failures_vs_nodes(scale: FigureScale | None = None) -> SweepR
     ``f-spms``/``f-spin`` (with the Table 1 failure process).
     """
     scale = scale or bench_scale()
-    base = scale.base_config(transmission_radius_m=20.0)
     healthy = _static_node_sweep(scale)
     faulty = _cached(
-        "failure_nodes",
-        scale,
-        lambda: sweep_nodes(
-            scale.node_counts, ("spms", "spin"), base_config=base, failures=FailureConfig()
-        ),
+        "failure_nodes", scale, lambda: _run_registered(fig10_failures_matrix(scale))
     )
     merged = SweepResult(parameter="num_nodes", values=list(scale.node_counts))
     merged.results["spms"] = healthy.results["spms"]
@@ -216,14 +323,9 @@ def figure10_delay_failures_vs_nodes(scale: FigureScale | None = None) -> SweepR
 def figure11_delay_failures_vs_radius(scale: FigureScale | None = None) -> SweepResult:
     """Figure 11: delay vs transmission radius, with and without failures."""
     scale = scale or bench_scale()
-    base = scale.base_config(num_nodes=scale.fixed_num_nodes)
     healthy = _static_radius_sweep(scale)
     faulty = _cached(
-        "failure_radius",
-        scale,
-        lambda: sweep_radius(
-            scale.radii_m, ("spms", "spin"), base_config=base, failures=FailureConfig()
-        ),
+        "failure_radius", scale, lambda: _run_registered(fig11_failures_matrix(scale))
     )
     merged = SweepResult(parameter="transmission_radius_m", values=list(scale.radii_m))
     merged.results["spms"] = healthy.results["spms"]
@@ -243,15 +345,7 @@ def figure12_energy_mobility(scale: FigureScale | None = None) -> SweepResult:
     SPIN does not, which narrows (but does not close) the energy gap.
     """
     scale = scale or bench_scale()
-    return sweep_radius(
-        scale.radii_m,
-        protocols=("spms", "spin"),
-        base_config=scale.base_config(
-            num_nodes=scale.fixed_num_nodes,
-            packets_per_node=scale.mobility_packets_per_node,
-        ),
-        mobility=MobilityConfig(),
-    )
+    return _run_registered(fig12_mobility_matrix(scale))
 
 
 # ----------------------------------------------------------------- Figure 13
@@ -261,19 +355,8 @@ def figure13_energy_cluster(scale: FigureScale | None = None) -> SweepResult:
     """Figure 13: energy vs transmission radius, cluster-based traffic,
     with and without transient failures (four curves)."""
     scale = scale or bench_scale()
-    base = scale.base_config(num_nodes=scale.fixed_num_nodes)
-    options = {"packets_per_member": scale.cluster_packets_per_member}
-    healthy = sweep_radius(
-        scale.radii_m, ("spms", "spin"), base_config=base, workload="cluster", **options
-    )
-    faulty = sweep_radius(
-        scale.radii_m,
-        ("spms", "spin"),
-        base_config=base,
-        workload="cluster",
-        failures=FailureConfig(),
-        **options,
-    )
+    healthy = _run_registered(fig13_cluster_matrix(scale))
+    faulty = _run_registered(fig13_cluster_failures_matrix(scale))
     merged = SweepResult(parameter="transmission_radius_m", values=list(scale.radii_m))
     merged.results["spms"] = healthy.results["spms"]
     merged.results["spin"] = healthy.results["spin"]

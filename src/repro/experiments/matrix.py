@@ -1,0 +1,254 @@
+"""Scenario matrices: declarative parameter grids and their job expansion.
+
+A :class:`ScenarioMatrix` declares a sweep — one or more swept configuration
+axes, the protocols to compare and the shared workload/failure/mobility
+setup — without running anything.  :meth:`ScenarioMatrix.expand` turns it into
+a flat list of :class:`SweepJob` objects, each a fully self-contained,
+picklable description of one simulation run:
+
+* jobs are **independent** — every job carries its own complete
+  :class:`~repro.experiments.scenarios.ScenarioSpec`, so they can execute in
+  any order, on any worker process, with identical results;
+* jobs are **seed-derived** — under the default ``"spawn"`` seed policy each
+  job's master seed is :func:`repro.sim.rng.spawn_seed` of the matrix seed and
+  the job's stable key, so grid points are statistically independent while the
+  whole grid stays reproducible from a single integer.  The ``"shared"``
+  policy keeps the base seed on every job (the paper's figures re-use one
+  seed per sweep point, and the legacy ``sweep_nodes``/``sweep_radius``
+  helpers preserve that behaviour).
+
+Named grids live in a registry (:func:`register_matrix` /
+:func:`get_matrix`): each figure of the paper registers its grid once, and
+the CLI (``repro sweep fig06 --workers 4``), the figure generators and the
+benchmarks all expand the same registered matrix.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.experiments.config import FailureConfig, MobilityConfig, SimulationConfig
+from repro.experiments.scenarios import (
+    ScenarioSpec,
+    all_to_all_scenario,
+    cluster_scenario,
+)
+from repro.sim.rng import spawn_seed
+
+#: Seed policies: "spawn" derives one independent seed per job from the base
+#: seed and the job key; "shared" gives every job the base configuration seed.
+SEED_POLICIES = ("spawn", "shared")
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One independent simulation run of an expanded matrix.
+
+    Attributes:
+        index: Position in the expansion order (stable across runs).
+        key: Stable identity, e.g. ``"fig06/num_nodes=64/spin"``; used for
+            seed derivation, result addressing and progress reporting.
+        matrix: Name of the matrix this job came from.
+        parameter: The primary swept parameter.
+        value: This job's value of the primary parameter.
+        protocol: Protocol under test.
+        spec: The complete scenario specification (self-contained, picklable).
+    """
+
+    index: int
+    key: str
+    matrix: str
+    parameter: str
+    value: float
+    protocol: str
+    spec: ScenarioSpec
+
+
+@dataclass(frozen=True)
+class ScenarioMatrix:
+    """A declarative parameter grid over scenarios.
+
+    Attributes:
+        name: Registry/display name of the grid.
+        axes: Mapping of ``SimulationConfig`` field name to the swept values.
+            Multiple axes expand as a cartesian product; the first axis is the
+            *primary* parameter used when assembling a
+            :class:`~repro.experiments.results.SweepResult`.
+        protocols: Protocols compared at every grid point.
+        base_config: Configuration shared by all jobs (axes override fields).
+        workload: Workload kind ("all_to_all" or "cluster").
+        workload_options: Extra workload constructor arguments.
+        failures: Transient-failure injection, or ``None``.
+        mobility: Step mobility, or ``None``.
+        seed_policy: "spawn" (per-job derived seeds) or "shared" (all jobs use
+            ``base_config.seed``).
+        scenario_factory: Optional custom spec builder ``(protocol, config,
+            name) -> ScenarioSpec`` replacing the standard builders.  Must be
+            a picklable (module-level) callable when used with worker pools.
+    """
+
+    name: str
+    axes: Mapping[str, Sequence[float]]
+    protocols: Sequence[str] = ("spms", "spin")
+    base_config: SimulationConfig = field(default_factory=SimulationConfig)
+    workload: str = "all_to_all"
+    workload_options: Mapping[str, object] = field(default_factory=dict)
+    failures: Optional[FailureConfig] = None
+    mobility: Optional[MobilityConfig] = None
+    seed_policy: str = "spawn"
+    scenario_factory: Optional[Callable[..., ScenarioSpec]] = None
+
+    def __post_init__(self) -> None:
+        if not self.axes:
+            raise ValueError("a scenario matrix needs at least one axis")
+        if not self.protocols:
+            raise ValueError("a scenario matrix needs at least one protocol")
+        if self.seed_policy not in SEED_POLICIES:
+            raise ValueError(
+                f"unknown seed policy {self.seed_policy!r}; choose from {SEED_POLICIES}"
+            )
+        for axis, values in self.axes.items():
+            if not list(values):
+                raise ValueError(f"axis {axis!r} has no values")
+
+    # ------------------------------------------------------------- expansion
+
+    @property
+    def parameter(self) -> str:
+        """The primary swept parameter (first axis)."""
+        return next(iter(self.axes))
+
+    def grid_points(self) -> List[Dict[str, float]]:
+        """Cartesian product of the axes, in deterministic order."""
+        names = list(self.axes)
+        combos = itertools.product(*(list(self.axes[n]) for n in names))
+        return [dict(zip(names, combo)) for combo in combos]
+
+    def job_count(self) -> int:
+        """Number of jobs :meth:`expand` will produce."""
+        total = 1
+        for values in self.axes.values():
+            total *= len(list(values))
+        return total * len(list(self.protocols))
+
+    def expand(self) -> List[SweepJob]:
+        """Expand the grid into independent, seed-derived jobs."""
+        jobs: List[SweepJob] = []
+        primary = self.parameter
+        for point in self.grid_points():
+            for protocol in self.protocols:
+                index = len(jobs)
+                key = self._job_key(point, protocol)
+                config = self.base_config.with_overrides(**point)
+                if self.seed_policy == "spawn":
+                    config = replace(
+                        config, seed=spawn_seed(self.base_config.seed, key)
+                    )
+                spec = self._build_spec(protocol, config, key)
+                jobs.append(
+                    SweepJob(
+                        index=index,
+                        key=key,
+                        matrix=self.name,
+                        parameter=primary,
+                        value=point[primary],
+                        protocol=protocol,
+                        spec=spec,
+                    )
+                )
+        return jobs
+
+    def _job_key(self, point: Mapping[str, float], protocol: str) -> str:
+        coords = "/".join(f"{axis}={point[axis]:g}" for axis in self.axes)
+        return f"{self.name}/{coords}/{protocol}"
+
+    def _build_spec(
+        self, protocol: str, config: SimulationConfig, name: str
+    ) -> ScenarioSpec:
+        options = dict(self.workload_options)
+        if self.scenario_factory is not None:
+            return self.scenario_factory(protocol, config, name)
+        if self.workload == "cluster":
+            return cluster_scenario(
+                protocol, config, failures=self.failures, **options
+            )
+        if self.workload == "all_to_all":
+            return all_to_all_scenario(
+                protocol,
+                config,
+                failures=self.failures,
+                mobility=self.mobility,
+                **options,
+            )
+        raise ValueError(f"unknown workload kind {self.workload!r}")
+
+
+# ------------------------------------------------------------------ registry
+
+MatrixFactory = Callable[..., ScenarioMatrix]
+
+_MATRIX_REGISTRY: Dict[str, MatrixFactory] = {}
+
+
+def register_matrix(name: str) -> Callable[[MatrixFactory], MatrixFactory]:
+    """Decorator registering a matrix factory under *name*.
+
+    The factory receives the keyword arguments of :func:`get_matrix` (today: a
+    ``scale`` — see :class:`repro.experiments.figures.FigureScale`) and must
+    return a :class:`ScenarioMatrix`.
+    """
+
+    def decorate(factory: MatrixFactory) -> MatrixFactory:
+        if name in _MATRIX_REGISTRY:
+            raise ValueError(f"matrix {name!r} registered twice")
+        _MATRIX_REGISTRY[name] = factory
+        return factory
+
+    return decorate
+
+
+def _ensure_builtin_matrices() -> None:
+    """Import the figure module so its registered grids are available.
+
+    The paper's grids are registered as a side effect of importing
+    :mod:`repro.experiments.figures`; callers that reach the registry directly
+    (CLI, tests) should not have to know that.
+    """
+    import repro.experiments.figures  # noqa: F401  (registration side effect)
+
+
+def get_matrix(name: str, **kwargs) -> ScenarioMatrix:
+    """Instantiate the registered matrix *name*."""
+    _ensure_builtin_matrices()
+    try:
+        factory = _MATRIX_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_MATRIX_REGISTRY)) or "<none>"
+        raise KeyError(f"unknown scenario matrix {name!r}; known: {known}") from None
+    return factory(**kwargs)
+
+
+def available_matrices() -> List[str]:
+    """Sorted names of every registered matrix."""
+    _ensure_builtin_matrices()
+    return sorted(_MATRIX_REGISTRY)
+
+
+def matrix_from_axes(
+    name: str,
+    parameter: str,
+    values: Sequence[float],
+    protocols: Sequence[str] = ("spms", "spin"),
+    base_config: Optional[SimulationConfig] = None,
+    **kwargs,
+) -> ScenarioMatrix:
+    """Convenience constructor for single-axis matrices."""
+    return ScenarioMatrix(
+        name=name,
+        axes={parameter: tuple(values)},
+        protocols=tuple(protocols),
+        base_config=base_config if base_config is not None else SimulationConfig(),
+        **kwargs,
+    )

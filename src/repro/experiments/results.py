@@ -1,8 +1,25 @@
-"""Result containers for experiment runs and parameter sweeps."""
+"""Result containers, serialisation and the content-addressed result cache.
+
+Every scenario run is summarised by a :class:`ScenarioResult`; a sweep collects
+them into a :class:`SweepResult`.  Both round-trip through plain dictionaries
+(and therefore JSON), which is what the parallel executor sends between worker
+processes and what :class:`ResultCache` persists on disk.
+
+The cache is *content addressed*: the key of a run is the SHA-256 of a
+canonical JSON rendering of its full :class:`~repro.experiments.scenarios.ScenarioSpec`
+(protocol, workload, every configuration field, failure/mobility parameters and
+the derived seed).  Two jobs with identical specs share a cache entry; any
+parameter change — including the seed — yields a different key, so ``--resume``
+can never serve stale results for a modified grid.
+"""
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional
 
 
@@ -72,6 +89,25 @@ class ScenarioResult:
             "failures_injected": self.failures_injected,
         }
 
+    def to_dict(self) -> Dict[str, object]:
+        """Complete, loss-free dictionary representation (JSON-safe)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def to_json(self) -> str:
+        """Canonical JSON rendering (stable key order, byte-reproducible)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioResult":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
 
 @dataclass
 class SweepResult:
@@ -108,6 +144,25 @@ class SweepResult:
             rows.append(row)
         return rows
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dictionary representation of the whole sweep."""
+        return {
+            "parameter": self.parameter,
+            "values": list(self.values),
+            "results": {
+                protocol: [r.to_dict() for r in results]
+                for protocol, results in self.results.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SweepResult":
+        """Rebuild a sweep from :meth:`to_dict` output."""
+        sweep = cls(parameter=data["parameter"], values=list(data["values"]))
+        for protocol, results in data["results"].items():
+            sweep.results[protocol] = [ScenarioResult.from_dict(r) for r in results]
+        return sweep
+
     def format_table(self, metric: str, precision: int = 3) -> str:
         """Readable fixed-width table for benchmark output."""
         protocols = sorted(self.results)
@@ -122,3 +177,74 @@ class SweepResult:
                 )
             lines.append(" ".join(cells))
         return "\n".join(lines)
+
+
+# ------------------------------------------------------------- result cache
+
+#: Bumped whenever the simulation semantics change in a way that invalidates
+#: previously cached results (part of every cache key).
+CACHE_SCHEMA_VERSION = 1
+
+
+def spec_fingerprint(spec) -> str:
+    """Content hash (hex SHA-256) identifying a scenario spec.
+
+    The fingerprint covers every field of the spec — protocol, workload and
+    its options, the full :class:`SimulationConfig` (including the seed) and
+    the failure/mobility parameters — rendered as canonical JSON.  Values that
+    are not JSON-native (e.g. custom workload objects) fall back to ``repr``,
+    which keeps the key deterministic as long as the object's repr is.
+    """
+    description = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "spec": dataclasses.asdict(spec),
+    }
+    text = json.dumps(description, sort_keys=True, default=repr)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed, on-disk store of :class:`ScenarioResult` objects.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` where *key* is
+    :func:`spec_fingerprint` of the run's spec.  Each file holds the result
+    dictionary plus a human-readable summary of the spec for debuggability.
+    Writes are atomic (temp file + rename) so a crashed or killed sweep never
+    leaves a truncated entry behind — ``--resume`` can trust whatever it finds.
+    """
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for *key* lives (whether or not it exists)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Optional[ScenarioResult]:
+        """The cached result for *key*, or ``None`` on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+            return ScenarioResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def store(self, key: str, result: ScenarioResult, spec=None) -> Path:
+        """Persist *result* under *key*; returns the entry path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload: Dict[str, object] = {"key": key, "result": result.to_dict()}
+        if spec is not None:
+            payload["spec"] = dataclasses.asdict(spec)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True, default=repr, indent=1))
+        tmp.replace(path)
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

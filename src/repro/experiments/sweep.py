@@ -1,37 +1,124 @@
-"""Parameter sweeps over node count and transmission radius.
+"""Parameter sweeps, now executed through the scenario-matrix subsystem.
 
 Every simulation figure in the paper is a sweep of either the number of nodes
 (Figures 6, 8, 10) or the transmission radius (Figures 7, 9, 11, 12, 13) with
-one curve per protocol.  These helpers run such sweeps and return a
-:class:`~repro.experiments.results.SweepResult`.
+one curve per protocol.  A sweep is described declaratively by a
+:class:`~repro.experiments.matrix.ScenarioMatrix`, expanded into independent
+jobs, and executed by :func:`~repro.experiments.executor.execute_jobs` —
+serially or across a worker pool, with identical results either way.
+
+:func:`sweep_nodes` and :func:`sweep_radius` keep their historical signatures
+(plus ``workers``/``cache``/``resume``) and their historical semantics: every
+grid point reuses the base configuration's seed (``seed_policy="shared"``),
+exactly as the paper's figures did before the matrix subsystem existed.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.experiments.config import FailureConfig, MobilityConfig, SimulationConfig
-from repro.experiments.results import SweepResult
-from repro.experiments.runner import run_scenario
+from repro.experiments.executor import ExecutionReport, assemble_sweep, execute_jobs
+from repro.experiments.matrix import ScenarioMatrix, matrix_from_axes
+from repro.experiments.results import ResultCache, SweepResult
 from repro.experiments.scenarios import ScenarioSpec, all_to_all_scenario, cluster_scenario
 
 ScenarioFactory = Callable[[str, SimulationConfig], ScenarioSpec]
 
 
-def _default_factory(
+def run_matrix(
+    matrix: ScenarioMatrix,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    resume: bool = False,
+    progress=None,
+) -> Tuple[SweepResult, ExecutionReport]:
+    """Expand *matrix*, execute every job and assemble the sweep.
+
+    Returns ``(sweep, report)``; the sweep's rows follow the matrix expansion
+    order regardless of the order in which workers finished.
+    """
+    jobs = matrix.expand()
+    results, report = execute_jobs(
+        jobs, workers=workers, cache=cache, resume=resume, progress=progress
+    )
+    return assemble_sweep(jobs, results), report
+
+
+class _LegacyFactoryAdapter:
+    """Adapts a ``(protocol, config) -> spec`` factory to the matrix interface.
+
+    A class (not a closure) so expanded jobs remain picklable when the factory
+    itself is a module-level callable.
+    """
+
+    def __init__(self, factory: ScenarioFactory) -> None:
+        self.factory = factory
+
+    def __call__(self, protocol: str, config: SimulationConfig, name: str) -> ScenarioSpec:
+        return self.factory(protocol, config)
+
+
+class _DefaultScenarioFactory:
+    """Standard all-to-all / cluster scenario builder used by the sweeps."""
+
+    def __init__(
+        self,
+        workload: str,
+        failures: Optional[FailureConfig],
+        mobility: Optional[MobilityConfig],
+        workload_options: Dict[str, object],
+    ) -> None:
+        self.workload = workload
+        self.failures = failures
+        self.mobility = mobility
+        self.workload_options = dict(workload_options)
+
+    def __call__(self, protocol: str, config: SimulationConfig, name: str) -> ScenarioSpec:
+        if self.workload == "cluster":
+            return cluster_scenario(
+                protocol, config, failures=self.failures, **self.workload_options
+            )
+        return all_to_all_scenario(
+            protocol,
+            config,
+            failures=self.failures,
+            mobility=self.mobility,
+            **self.workload_options,
+        )
+
+
+def _legacy_sweep(
+    name: str,
+    parameter: str,
+    values: Sequence[float],
+    protocols: Sequence[str],
+    base_config: Optional[SimulationConfig],
     workload: str,
     failures: Optional[FailureConfig],
     mobility: Optional[MobilityConfig],
-    **workload_options,
-) -> ScenarioFactory:
-    def factory(protocol: str, config: SimulationConfig) -> ScenarioSpec:
-        if workload == "cluster":
-            return cluster_scenario(protocol, config, failures=failures, **workload_options)
-        return all_to_all_scenario(
-            protocol, config, failures=failures, mobility=mobility, **workload_options
-        )
-
-    return factory
+    scenario_factory: Optional[ScenarioFactory],
+    workers: int,
+    cache: Optional[ResultCache],
+    resume: bool,
+    workload_options: Dict[str, object],
+) -> SweepResult:
+    base = base_config if base_config is not None else SimulationConfig()
+    if scenario_factory is not None:
+        factory = _LegacyFactoryAdapter(scenario_factory)
+    else:
+        factory = _DefaultScenarioFactory(workload, failures, mobility, workload_options)
+    matrix = matrix_from_axes(
+        name,
+        parameter,
+        values,
+        protocols=protocols,
+        base_config=base,
+        seed_policy="shared",
+        scenario_factory=factory,
+    )
+    sweep, _report = run_matrix(matrix, workers=workers, cache=cache, resume=resume)
+    return sweep
 
 
 def sweep_nodes(
@@ -42,6 +129,9 @@ def sweep_nodes(
     failures: Optional[FailureConfig] = None,
     mobility: Optional[MobilityConfig] = None,
     scenario_factory: Optional[ScenarioFactory] = None,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    resume: bool = False,
     **workload_options,
 ) -> SweepResult:
     """Run every protocol at every node count (Figures 6, 8, 10).
@@ -54,17 +144,26 @@ def sweep_nodes(
         failures: Failure injection (F-SPMS / F-SPIN curves) or ``None``.
         mobility: Step mobility or ``None``.
         scenario_factory: Custom scenario builder overriding the defaults.
+        workers: Worker processes (1 = serial; results identical either way).
+        cache: Optional content-addressed result cache.
+        resume: Serve already-cached jobs from *cache* instead of re-running.
         **workload_options: Forwarded to the workload constructor.
     """
-    base = base_config if base_config is not None else SimulationConfig()
-    factory = scenario_factory or _default_factory(workload, failures, mobility, **workload_options)
-    sweep = SweepResult(parameter="num_nodes")
-    for count in node_counts:
-        config = base.with_overrides(num_nodes=count)
-        for protocol in protocols:
-            result = run_scenario(factory(protocol, config))
-            sweep.add(protocol, count, result)
-    return sweep
+    return _legacy_sweep(
+        "sweep-nodes",
+        "num_nodes",
+        node_counts,
+        protocols,
+        base_config,
+        workload,
+        failures,
+        mobility,
+        scenario_factory,
+        workers,
+        cache,
+        resume,
+        workload_options,
+    )
 
 
 def sweep_radius(
@@ -75,15 +174,24 @@ def sweep_radius(
     failures: Optional[FailureConfig] = None,
     mobility: Optional[MobilityConfig] = None,
     scenario_factory: Optional[ScenarioFactory] = None,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    resume: bool = False,
     **workload_options,
 ) -> SweepResult:
     """Run every protocol at every transmission radius (Figures 7, 9, 11-13)."""
-    base = base_config if base_config is not None else SimulationConfig()
-    factory = scenario_factory or _default_factory(workload, failures, mobility, **workload_options)
-    sweep = SweepResult(parameter="transmission_radius_m")
-    for radius in radii_m:
-        config = base.with_overrides(transmission_radius_m=radius)
-        for protocol in protocols:
-            result = run_scenario(factory(protocol, config))
-            sweep.add(protocol, radius, result)
-    return sweep
+    return _legacy_sweep(
+        "sweep-radius",
+        "transmission_radius_m",
+        radii_m,
+        protocols,
+        base_config,
+        workload,
+        failures,
+        mobility,
+        scenario_factory,
+        workers,
+        cache,
+        resume,
+        workload_options,
+    )

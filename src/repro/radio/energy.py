@@ -19,7 +19,9 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
+
+import numpy as np
 
 from repro.radio.power import PowerLevel, PowerTable
 
@@ -65,6 +67,11 @@ class EnergyModel:
         )
         if self.rx_power_mw < 0:
             raise ValueError(f"rx power must be non-negative, got {self.rx_power_mw}")
+        # Costs depend only on (size, level) and both are immutable, so the
+        # per-packet accounting on the simulation's hottest path (one charge
+        # per transmission and per reception) is memoised.
+        self._tx_memo: Dict[tuple, TransmissionCost] = {}
+        self._rx_memo: Dict[int, float] = {}
 
     def airtime_ms(self, size_bytes: int) -> float:
         """Time on air for a packet of *size_bytes*."""
@@ -74,12 +81,17 @@ class EnergyModel:
 
     def tx_cost(self, size_bytes: int, level: PowerLevel) -> TransmissionCost:
         """Energy/airtime to transmit *size_bytes* at *level*."""
-        airtime = self.airtime_ms(size_bytes)
-        return TransmissionCost(
-            energy_uj=level.power_mw * airtime,
-            airtime_ms=airtime,
-            power_level=level,
-        )
+        key = (size_bytes, level.index, level.power_mw)
+        cost = self._tx_memo.get(key)
+        if cost is None:
+            airtime = self.airtime_ms(size_bytes)
+            cost = TransmissionCost(
+                energy_uj=level.power_mw * airtime,
+                airtime_ms=airtime,
+                power_level=level,
+            )
+            self._tx_memo[key] = cost
+        return cost
 
     def tx_cost_for_distance(self, size_bytes: int, distance_m: float) -> TransmissionCost:
         """Energy/airtime using the lowest-power level that reaches *distance_m*."""
@@ -92,7 +104,33 @@ class EnergyModel:
 
     def rx_cost(self, size_bytes: int) -> float:
         """Energy to receive a packet of *size_bytes* (microjoules)."""
-        return self.rx_power_mw * self.airtime_ms(size_bytes)
+        cost = self._rx_memo.get(size_bytes)
+        if cost is None:
+            cost = self.rx_power_mw * self.airtime_ms(size_bytes)
+            self._rx_memo[size_bytes] = cost
+        return cost
+
+    # ----------------------------------------------------------- batch (numpy)
+
+    def tx_energies_uj(
+        self, size_bytes: int, powers_mw: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised transmit energy for one packet size at many power levels.
+
+        ``powers_mw`` is typically a row of
+        :meth:`repro.radio.power.PowerTable.power_for_distances`; ``nan``
+        entries (out of range) propagate so callers can mask them.
+        """
+        airtime = self.airtime_ms(size_bytes)
+        return np.asarray(powers_mw, dtype=float) * airtime
+
+    def rx_costs_uj(self, sizes_bytes: Sequence[int]) -> np.ndarray:
+        """Vectorised receive energy for many packet sizes (microjoules)."""
+        sizes = np.asarray(sizes_bytes, dtype=float)
+        if np.any(sizes <= 0):
+            raise ValueError("packet sizes must be positive")
+        airtimes_ms = sizes * self.t_tx_per_byte_ms  # airtime_ms, vectorised
+        return self.rx_power_mw * airtimes_ms
 
 
 class EnergyLedger:
@@ -117,6 +155,30 @@ class EnergyLedger:
         self._per_node[node_id] += energy_uj
         self._per_category[category] += energy_uj
         self._per_node_category[(node_id, category)] += energy_uj
+
+    def charge_batch(
+        self,
+        node_ids: Sequence[int],
+        energies_uj: np.ndarray,
+        category: str = "tx",
+    ) -> None:
+        """Charge many nodes in one call (vectorised validation + totals).
+
+        Equivalent to calling :meth:`charge` once per ``(node, energy)`` pair
+        but validates and sums with numpy, which matters for bulk charges
+        such as routing-table formation across the whole field.
+        """
+        energies = np.asarray(energies_uj, dtype=float)
+        if energies.shape != (len(node_ids),):
+            raise ValueError(
+                f"need one energy per node, got {energies.shape} for {len(node_ids)} nodes"
+            )
+        if energies.size and (np.any(energies < 0) or np.any(np.isnan(energies))):
+            raise ValueError("energies must be non-negative and finite")
+        for node_id, energy in zip(node_ids, energies.tolist()):
+            self._per_node[node_id] += energy
+            self._per_node_category[(node_id, category)] += energy
+        self._per_category[category] += float(energies.sum())
 
     def node_total(self, node_id: int) -> float:
         """Total energy consumed by *node_id*."""

@@ -1,14 +1,62 @@
-"""Path-loss models.
+"""Path-loss models and vectorised range geometry.
 
 The paper's analysis assumes transmission energy proportional to ``d**alpha``
 with ``alpha`` between 2 and 4, and uses ``alpha = 3.5`` (two-ray ground
 beyond ~7 m) for the Section-4 energy comparison.  These models are used by
 the analytical module and by :func:`repro.radio.power.build_power_table_for_radius`.
+
+The module also hosts the **vectorised neighbour-range computation** shared by
+zone construction and routing: :func:`pairwise_distances` builds the full
+node-to-node distance matrix in one numpy expression and
+:func:`neighbors_within_matrix` turns it into a boolean "who can hear whom"
+adjacency.  These replace the per-pair ``math.hypot`` loops that dominated
+scenario build time (zone refresh is O(n²) and reruns after every mobility
+epoch), and every worker process of a parallel sweep benefits.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+
+import numpy as np
+
+#: Slack added to range comparisons so nodes exactly on the radius are
+#: neighbours despite floating-point rounding (matches
+#: :meth:`repro.topology.field.SensorField.neighbors_within`).
+RANGE_TOLERANCE_M = 1e-9
+
+
+def pairwise_distances(positions: np.ndarray) -> np.ndarray:
+    """Full Euclidean distance matrix of an ``(n, 2)`` position array.
+
+    Returns an ``(n, n)`` float array; entry ``[i, j]`` is the distance
+    between rows *i* and *j* (diagonal zero).  ``np.hypot`` keeps the
+    element-wise arithmetic identical to the scalar ``math.hypot`` path.
+    """
+    pos = np.asarray(positions, dtype=float)
+    if pos.ndim != 2 or pos.shape[1] != 2:
+        raise ValueError(f"positions must have shape (n, 2), got {pos.shape}")
+    deltas = pos[:, None, :] - pos[None, :, :]
+    return np.hypot(deltas[:, :, 0], deltas[:, :, 1])
+
+
+def neighbors_within_matrix(
+    positions: np.ndarray,
+    radius_m: float,
+    tolerance_m: float = RANGE_TOLERANCE_M,
+) -> np.ndarray:
+    """Boolean adjacency: ``[i, j]`` true when *j* is within *radius_m* of *i*.
+
+    The diagonal is false (a node is not its own neighbour).  Comparison uses
+    the same ``radius + tolerance`` rule as the scalar field queries, so the
+    vectorised zones are bit-identical to the loop-based ones.
+    """
+    if radius_m < 0:
+        raise ValueError(f"radius must be non-negative, got {radius_m}")
+    distances = pairwise_distances(positions)
+    adjacency = distances <= radius_m + tolerance_m
+    np.fill_diagonal(adjacency, False)
+    return adjacency
 
 
 class PathLossModel(ABC):
@@ -17,6 +65,11 @@ class PathLossModel(ABC):
     @abstractmethod
     def required_power(self, distance_m: float) -> float:
         """Relative transmit power (arbitrary units) needed to reach *distance_m*."""
+
+    def required_power_array(self, distances_m: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`required_power` over an array of distances."""
+        distances = np.asarray(distances_m, dtype=float)
+        return np.vectorize(self.required_power, otypes=[float])(distances)
 
     def energy_ratio(self, distance_a: float, distance_b: float) -> float:
         """Ratio of the power needed for *distance_a* to that for *distance_b*."""
@@ -46,6 +99,12 @@ class PowerLawPathLoss(PathLossModel):
         if distance_m < 0:
             raise ValueError(f"distance must be non-negative, got {distance_m}")
         return self.reference_power * distance_m**self.alpha
+
+    def required_power_array(self, distances_m: np.ndarray) -> np.ndarray:
+        distances = np.asarray(distances_m, dtype=float)
+        if np.any(distances < 0):
+            raise ValueError("distances must be non-negative")
+        return self.reference_power * distances**self.alpha
 
 
 class FreeSpacePathLoss(PowerLawPathLoss):
@@ -85,3 +144,13 @@ class TwoRayGroundPathLoss(PathLossModel):
         if distance_m <= self.crossover_m:
             return self._near.required_power(distance_m)
         return self._far.required_power(distance_m)
+
+    def required_power_array(self, distances_m: np.ndarray) -> np.ndarray:
+        distances = np.asarray(distances_m, dtype=float)
+        if np.any(distances < 0):
+            raise ValueError("distances must be non-negative")
+        return np.where(
+            distances <= self.crossover_m,
+            self._near.required_power_array(distances),
+            self._far.required_power_array(distances),
+        )

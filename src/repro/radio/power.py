@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class PowerLevel:
@@ -108,6 +110,24 @@ class PowerTable:
             f"distance {distance_m:.2f} m exceeds maximum range "
             f"{self.max_range_m:.2f} m"
         )
+
+    def power_for_distances(self, distances_m: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`level_for_distance`, returning power in mW.
+
+        For every entry the power of the lowest-power level that reaches it
+        (same ``range + 1e-12`` tolerance as :meth:`PowerLevel.reaches`);
+        entries beyond the maximum range yield ``nan`` instead of raising, so
+        callers can mask them (routing only queries in-zone pairs anyway).
+        """
+        distances = np.asarray(distances_m, dtype=float)
+        if np.any(distances < 0):
+            raise ValueError("distances must be non-negative")
+        powers = np.full(distances.shape, np.nan)
+        # Highest power first, overwritten by every lower level that still
+        # reaches — identical to the scalar lowest-power-that-reaches scan.
+        for level in self._levels:
+            powers = np.where(distances <= level.range_m + 1e-12, level.power_mw, powers)
+        return powers
 
     def truncated_to_radius(self, radius_m: float) -> "PowerTable":
         """Return a table whose maximum range equals *radius_m*.

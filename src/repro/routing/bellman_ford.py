@@ -17,6 +17,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set
 
+from repro.radio.pathloss import pairwise_distances
 from repro.radio.power import PowerTable
 from repro.routing.table import RouteCandidate, RoutingTable
 from repro.topology.field import SensorField
@@ -91,6 +92,19 @@ class DistributedBellmanFord:
             return None
         return self.power_table.level_for_distance(distance).power_mw
 
+    def _link_cost_matrix(self) -> tuple:
+        """``(index_of_id, cost_matrix)`` for every node pair, vectorised.
+
+        One pairwise-distance computation plus one vectorised power-level
+        lookup replaces the per-pair ``_link_cost`` calls of the main loop;
+        out-of-range pairs hold ``nan``.  The tolerances match the scalar
+        path exactly, so costs are bit-identical.
+        """
+        ids, positions = self.field.positions_array()
+        distances = pairwise_distances(positions)
+        costs = self.power_table.power_for_distances(distances)
+        return {node_id: i for i, node_id in enumerate(ids)}, costs
+
     def compute(self) -> tuple:
         """Run the distance-vector exchange to convergence.
 
@@ -99,16 +113,18 @@ class DistributedBellmanFord:
             :class:`RoutingTable` and *stats* is a :class:`ConvergenceStats`.
         """
         active = [n for n in self.field.node_ids if n not in self.exclude_nodes]
+        index_of, cost_matrix = self._link_cost_matrix()
         neighbors: Dict[int, Dict[int, float]] = {}
         wanted: Dict[int, Set[int]] = {}
         for node in active:
             links = {}
+            row = cost_matrix[index_of[node]]
             for other in self.zone_map.zone_neighbors(node):
                 if other in self.exclude_nodes:
                     continue
-                cost = self._link_cost(node, other)
-                if cost is not None:
-                    links[other] = cost
+                cost = row[index_of[other]]
+                if not math.isnan(cost):
+                    links[other] = float(cost)
             neighbors[node] = links
             wanted[node] = set(links) | {
                 z for z in self.zone_map.zone_neighbors(node) if z not in self.exclude_nodes

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set
 
+import numpy as np
+
 from repro.mac.delay import MacDelayModel
 from repro.radio.energy import EnergyLedger, EnergyModel
 from repro.radio.power import PowerTable
@@ -105,8 +107,11 @@ class RoutingManager:
         # the network-wide total, so the split does not affect any result.
         node_ids = self.field.node_ids
         per_node = (tx_energy_total + rx_energy_total) / len(node_ids)
-        for node_id in node_ids:
-            self.energy_ledger.charge(node_id, per_node, category=ROUTING_CATEGORY)
+        self.energy_ledger.charge_batch(
+            node_ids,
+            np.full(len(node_ids), per_node),
+            category=ROUTING_CATEGORY,
+        )
 
     # ---------------------------------------------------------------- queries
 

@@ -11,7 +11,9 @@ from __future__ import annotations
 from typing import Dict, Optional, Set
 
 import networkx as nx
+import numpy as np
 
+from repro.radio.pathloss import pairwise_distances
 from repro.radio.power import PowerTable
 from repro.routing.table import RouteCandidate, RoutingTable
 from repro.topology.field import SensorField
@@ -24,14 +26,22 @@ def _build_global_graph(
     exclude_nodes: Set[int],
 ) -> nx.Graph:
     graph = nx.Graph()
-    ids = [n for n in field.node_ids if n not in exclude_nodes]
+    all_ids, positions = field.positions_array()
+    keep = [i for i, node_id in enumerate(all_ids) if node_id not in exclude_nodes]
+    ids = [all_ids[i] for i in keep]
     graph.add_nodes_from(ids)
-    for i, a in enumerate(ids):
-        for b in ids[i + 1 :]:
-            distance = field.distance(a, b)
-            if distance <= power_table.max_range_m + 1e-9:
-                weight = power_table.level_for_distance(distance).power_mw
-                graph.add_edge(a, b, weight=weight)
+    if len(keep) < 2:
+        return graph
+    distances = pairwise_distances(positions[keep])
+    weights = power_table.power_for_distances(distances)
+    # A link exists exactly when some power level covers it (non-nan weight);
+    # masking on the weights keeps the edge set and the cost scale consistent.
+    rows, cols = np.triu_indices(len(keep), k=1)
+    mask = ~np.isnan(weights[rows, cols])
+    graph.add_weighted_edges_from(
+        (ids[a], ids[b], float(w))
+        for a, b, w in zip(rows[mask], cols[mask], weights[rows[mask], cols[mask]])
+    )
     return graph
 
 

@@ -14,6 +14,20 @@ import random
 from typing import Dict
 
 
+def spawn_seed(master_seed: int, *tokens: object) -> int:
+    """Derive an independent child seed from *master_seed* and a spawn key.
+
+    The sweep subsystem gives every job in a parameter grid its own master
+    seed derived from the sweep seed and the job's stable identity (its spawn
+    key), so jobs are statistically independent yet fully reproducible: the
+    same ``(seed, tokens)`` always yields the same child seed, regardless of
+    how many jobs run, in which order, or on how many workers.
+    """
+    material = ":".join([str(int(master_seed))] + [str(t) for t in tokens])
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 class RandomStreams:
     """Factory and registry of named :class:`random.Random` streams."""
 
@@ -60,6 +74,14 @@ class RandomStreams:
     def random(self, name: str) -> float:
         """Draw a float uniformly from ``[0, 1)``."""
         return self.stream(name).random()
+
+    def spawn(self, *tokens: object) -> "RandomStreams":
+        """A child registry whose master seed is derived via :func:`spawn_seed`.
+
+        Children are independent of the parent and of each other (different
+        tokens), and deterministic in the parent seed and the tokens.
+        """
+        return RandomStreams(spawn_seed(self.master_seed, *tokens))
 
     def reset(self) -> None:
         """Re-seed every existing stream back to its initial state."""

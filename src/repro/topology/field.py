@@ -10,7 +10,9 @@ only when the topology actually changes.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
 
 from repro.topology.node import NodeInfo, Position
 
@@ -27,6 +29,7 @@ class SensorField:
             raise ValueError("duplicate node ids in sensor field")
         self._nodes: Dict[int, NodeInfo] = {n.node_id: n for n in node_list}
         self._topology_version = 0
+        self._positions_cache: Optional[Tuple[int, List[int], np.ndarray]] = None
 
     # ------------------------------------------------------------ inspection
 
@@ -84,6 +87,23 @@ class SensorField:
         This is the contender count ``n`` of the MAC model.
         """
         return len(self.neighbors_within(node_id, radius_m)) + 1
+
+    def positions_array(self) -> Tuple[List[int], np.ndarray]:
+        """``(sorted_node_ids, (n, 2) position array)`` for vectorised geometry.
+
+        Cached per :attr:`topology_version`, so repeated zone/routing rebuilds
+        between mobility epochs reuse the same array.
+        """
+        cache = self._positions_cache
+        if cache is not None and cache[0] == self._topology_version:
+            return cache[1], cache[2]
+        ids = self.node_ids
+        array = np.array(
+            [[self._nodes[i].position.x, self._nodes[i].position.y] for i in ids],
+            dtype=float,
+        ).reshape(len(ids), 2)
+        self._positions_cache = (self._topology_version, ids, array)
+        return ids, array
 
     def bounding_box(self) -> tuple:
         """``(min_x, min_y, max_x, max_y)`` of the field."""

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Set
 
+from repro.radio.pathloss import neighbors_within_matrix
 from repro.topology.field import SensorField
 
 
@@ -26,10 +27,17 @@ class ZoneMap:
         self.refresh()
 
     def refresh(self) -> None:
-        """Recompute every zone from current node positions."""
+        """Recompute every zone from current node positions.
+
+        Uses the vectorised neighbour-range computation (one numpy adjacency
+        for the whole field) instead of n per-node O(n) scans; the tolerance
+        matches the scalar queries so membership is identical.
+        """
+        ids, positions = self._field.positions_array()
+        adjacency = neighbors_within_matrix(positions, self.radius_m)
         self._zones = {
-            node_id: set(self._field.neighbors_within(node_id, self.radius_m))
-            for node_id in self._field.node_ids
+            node_id: {ids[j] for j in adjacency[i].nonzero()[0]}
+            for i, node_id in enumerate(ids)
         }
         self._built_for_version = self._field.topology_version
 

@@ -1,0 +1,81 @@
+"""Golden-value tests pinning the analytical model curves.
+
+The Figure 3 delay-ratio and Figure 5 energy-ratio series are closed-form
+functions of the Table 1 parameters; any change to
+:mod:`repro.analysis.delay_model` or :mod:`repro.analysis.energy_model` that
+moves these numbers is a reproduction regression, not a refactor.  Values
+below were produced by the verified implementation (the worked example of
+Section 4.1 reproduces the paper's 2.7865 ratio to four decimals).
+"""
+
+import pytest
+
+from repro.analysis.delay_model import AnalysisParameters, delay_ratio
+from repro.analysis.energy_model import EnergyAnalysisParameters, energy_ratio
+from repro.experiments.figures import figure3_delay_ratio, figure5_energy_ratio
+
+#: Figure 3 — SPIN/SPMS delay ratio vs transmission radius at the Table 1
+#: parameters (density 0.01 / m**2, ns = 5, G = 0.01, Ttx = 0.05, Tproc = 0.02,
+#: A:R:D = 1:1:30).  Keys are radii in metres.
+FIG3_GOLDEN = {
+    2: 1.0,
+    10: 1.0,
+    14: 1.088,
+    16: 1.2805755396,
+    18: 1.4777070064,
+    20: 1.7519582245,
+    22: 1.9111617312,
+    24: 2.1115241636,
+    26: 2.2702290076,
+    28: 2.4302741359,
+    30: 2.5210420842,
+}
+
+#: Figure 5 — SPIN/SPMS energy ratio vs transmission radius (alpha = 3.5,
+#: D = 32 A).  Keys are radii (= hop counts) in grid units.
+FIG5_GOLDEN = {
+    1: 1.0,
+    2: 2.8811190169,
+    3: 6.5546796533,
+    4: 11.0757575758,
+    5: 15.5201904417,
+    8: 24.8323680048,
+    10: 28.0646263092,
+    12: 29.9790677004,
+    20: 32.7734490259,
+    30: 33.5443079573,
+}
+
+
+class TestFigure3Golden:
+    def test_pinned_points(self):
+        series = dict(figure3_delay_ratio())
+        for radius, expected in FIG3_GOLDEN.items():
+            assert series[radius] == pytest.approx(expected, rel=1e-9), radius
+
+    def test_worked_example_ratio(self):
+        # Section 4.1 worked example: n1 = 45, ns = 5 gives 2.7865.
+        assert delay_ratio(AnalysisParameters()) == pytest.approx(2.7865118356, rel=1e-9)
+        assert delay_ratio(AnalysisParameters()) == pytest.approx(2.7865, abs=5e-5)
+
+    def test_monotone_beyond_saturation(self):
+        series = [y for _x, y in figure3_delay_ratio()]
+        # Flat at 1.0 while the zone is below ns, then non-decreasing.
+        assert all(b >= a - 1e-12 for a, b in zip(series, series[1:]))
+
+
+class TestFigure5Golden:
+    def test_pinned_points(self):
+        series = dict(figure5_energy_ratio())
+        for radius, expected in FIG5_GOLDEN.items():
+            assert series[radius] == pytest.approx(expected, rel=1e-9), radius
+
+    def test_single_hop_protocols_coincide(self):
+        assert energy_ratio(1) == pytest.approx(1.0)
+
+    def test_ratio_tends_to_inverse_adv_fraction(self):
+        params = EnergyAnalysisParameters()
+        limit = 1.0 / params.adv_fraction  # = 34 for D = 32 A = 32 R
+        assert limit == pytest.approx(34.0)
+        assert energy_ratio(200, params) == pytest.approx(limit, rel=1e-2)
+        assert energy_ratio(30, params) < limit

@@ -74,3 +74,56 @@ class TestCommands:
         finally:
             figures.clear_figure_cache()
         assert any("spms" in line for line in lines)
+
+
+class TestSweepCommand:
+    def test_sweep_list(self, capture):
+        lines, out = capture
+        assert main(["sweep", "--list"], out=out) == 0
+        text = "\n".join(lines)
+        assert "fig06" in text and "fig12-mobility" in text
+
+    def test_sweep_without_matrix_lists_and_fails(self, capture):
+        lines, out = capture
+        assert main(["sweep"], out=out) == 2
+        assert any("fig06" in line for line in lines)
+
+    def test_sweep_unknown_matrix(self, capture):
+        lines, out = capture
+        assert main(["sweep", "not-a-grid"], out=out) == 2
+        assert any("unknown scenario matrix" in line for line in lines)
+
+    def test_sweep_runs_tiny_grid(self, capture, monkeypatch, tmp_path):
+        lines, out = capture
+        tiny = FigureScale(
+            node_counts=(9,),
+            radii_m=(10.0,),
+            fixed_num_nodes=9,
+            packets_per_node=1,
+            arrival_mean_interarrival_ms=5.0,
+        )
+        monkeypatch.setattr(figures, "bench_scale", lambda: tiny)
+        cache_dir = tmp_path / "cache"
+        code = main(
+            ["sweep", "fig06", "--workers", "1", "--cache-dir", str(cache_dir)],
+            out=out,
+        )
+        assert code == 0
+        text = "\n".join(lines)
+        assert "sweep fig06: 2 jobs" in text
+        assert "spms" in text and "spin" in text
+        assert "2 simulated, 0 from cache" in text
+        assert "aggregate:" in text
+
+        # Resuming from the cache re-simulates nothing and prints the same table.
+        lines.clear()
+        code = main(
+            ["sweep", "fig06", "--cache-dir", str(cache_dir), "--resume"], out=out
+        )
+        assert code == 0
+        assert "0 simulated, 2 from cache" in "\n".join(lines)
+
+    def test_sweep_resume_requires_cache_dir(self, capture):
+        lines, out = capture
+        assert main(["sweep", "fig06", "--resume"], out=out) == 2
+        assert any("--cache-dir" in line for line in lines)

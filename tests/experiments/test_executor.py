@@ -1,0 +1,141 @@
+"""Tests for the parallel job executor and the content-addressed result cache."""
+
+import json
+
+import pytest
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.executor import (
+    assemble_sweep,
+    default_workers,
+    execute_jobs,
+)
+from repro.experiments.matrix import matrix_from_axes
+from repro.experiments.results import ResultCache, ScenarioResult, spec_fingerprint
+
+
+@pytest.fixture
+def small_matrix():
+    return matrix_from_axes(
+        "exec-test",
+        "num_nodes",
+        (9, 16),
+        protocols=("spms",),
+        base_config=SimulationConfig(
+            num_nodes=9,
+            packets_per_node=1,
+            transmission_radius_m=15.0,
+            grid_spacing_m=5.0,
+            seed=9,
+        ),
+    )
+
+
+class TestSerialExecution:
+    def test_results_keyed_by_job(self, small_matrix):
+        jobs = small_matrix.expand()
+        results, report = execute_jobs(jobs, workers=1)
+        assert set(results) == {j.key for j in jobs}
+        assert report.total_jobs == len(jobs)
+        assert report.executed == len(jobs)
+        assert report.cache_hits == 0
+        assert report.elapsed_s > 0.0
+        for job in jobs:
+            assert results[job.key].num_nodes == job.spec.config.num_nodes
+
+    def test_progress_callback_sees_every_job(self, small_matrix):
+        seen = []
+        jobs = small_matrix.expand()
+        execute_jobs(jobs, progress=lambda job, result, cached: seen.append((job.key, cached)))
+        assert seen == [(j.key, False) for j in jobs]
+
+    def test_assemble_preserves_expansion_order(self, small_matrix):
+        jobs = small_matrix.expand()
+        results, _ = execute_jobs(jobs)
+        sweep = assemble_sweep(jobs, results)
+        assert sweep.parameter == "num_nodes"
+        assert sweep.values == [9, 16]
+        assert [r.num_nodes for r in sweep.results["spms"]] == [9, 16]
+
+    def test_merged_metrics_cover_all_shards(self, small_matrix):
+        jobs = small_matrix.expand()
+        results, report = execute_jobs(jobs, merge_metrics=True)
+        merged = report.merged_metrics
+        assert merged is not None
+        assert merged.items_generated == sum(r.items_generated for r in results.values())
+        assert merged.total_energy_uj == pytest.approx(
+            sum(r.total_energy_uj for r in results.values())
+        )
+        assert merged.delay.deliveries_completed == sum(
+            r.deliveries_completed for r in results.values()
+        )
+
+
+class TestResultCache:
+    def test_write_through_and_resume(self, small_matrix, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        jobs = small_matrix.expand()
+        first, report1 = execute_jobs(jobs, cache=cache)
+        assert report1.executed == len(jobs)
+        assert len(cache) == len(jobs)
+
+        second, report2 = execute_jobs(jobs, cache=cache, resume=True)
+        assert report2.executed == 0
+        assert report2.cache_hits == len(jobs)
+        for key in first:
+            assert first[key].to_json() == second[key].to_json()
+
+    def test_resume_reruns_changed_specs(self, small_matrix, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        jobs = small_matrix.expand()
+        execute_jobs(jobs, cache=cache)
+        reseeded = matrix_from_axes(
+            "exec-test",
+            "num_nodes",
+            (9, 16),
+            protocols=("spms",),
+            base_config=small_matrix.base_config.with_overrides(seed=10),
+        ).expand()
+        _, report = execute_jobs(reseeded, cache=cache, resume=True)
+        assert report.cache_hits == 0
+        assert report.executed == len(reseeded)
+
+    def test_fingerprint_sensitive_to_every_knob(self, small_matrix):
+        job = small_matrix.expand()[0]
+        base = spec_fingerprint(job.spec)
+        reseeded = small_matrix.base_config.with_overrides(seed=123)
+        other = matrix_from_axes(
+            "exec-test", "num_nodes", (9,), protocols=("spms",), base_config=reseeded
+        ).expand()[0]
+        assert spec_fingerprint(other.spec) != base
+        assert spec_fingerprint(job.spec) == base  # stable
+
+    def test_corrupt_entries_are_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert cache.load(key) is None
+
+    def test_round_trip_preserves_every_field(self, small_matrix, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = small_matrix.expand()
+        results, _ = execute_jobs(jobs[:1], cache=cache)
+        stored = cache.load(spec_fingerprint(jobs[0].spec))
+        original = results[jobs[0].key]
+        assert isinstance(stored, ScenarioResult)
+        assert stored.to_dict() == original.to_dict()
+        # Entries are valid, human-inspectable JSON with spec provenance.
+        payload = json.loads(cache.path_for(spec_fingerprint(jobs[0].spec)).read_text())
+        assert payload["spec"]["protocol"] == "spms"
+
+
+class TestWorkerConfiguration:
+    def test_default_workers_reads_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)
+        assert default_workers() == 1
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "4")
+        assert default_workers() == 4
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "garbage")
+        assert default_workers() == 1

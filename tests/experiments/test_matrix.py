@@ -1,0 +1,120 @@
+"""Tests for the scenario-matrix registry and grid expansion."""
+
+import pickle
+
+import pytest
+
+from repro.experiments.config import FailureConfig, SimulationConfig
+from repro.experiments.matrix import (
+    ScenarioMatrix,
+    available_matrices,
+    get_matrix,
+    matrix_from_axes,
+    register_matrix,
+)
+from repro.experiments.figures import bench_scale
+
+
+@pytest.fixture
+def base_config():
+    return SimulationConfig(
+        num_nodes=9,
+        packets_per_node=1,
+        transmission_radius_m=15.0,
+        grid_spacing_m=5.0,
+        seed=5,
+    )
+
+
+class TestExpansion:
+    def test_single_axis_expansion_order(self, base_config):
+        matrix = matrix_from_axes(
+            "m", "num_nodes", (9, 16), protocols=("spms", "spin"), base_config=base_config
+        )
+        jobs = matrix.expand()
+        assert [j.index for j in jobs] == [0, 1, 2, 3]
+        assert [(j.value, j.protocol) for j in jobs] == [
+            (9, "spms"), (9, "spin"), (16, "spms"), (16, "spin"),
+        ]
+        assert jobs[2].spec.config.num_nodes == 16
+        assert jobs[0].key == "m/num_nodes=9/spms"
+        assert matrix.job_count() == 4
+
+    def test_multi_axis_cartesian_product(self, base_config):
+        matrix = ScenarioMatrix(
+            name="grid",
+            axes={"num_nodes": (9, 16), "transmission_radius_m": (10.0, 15.0)},
+            protocols=("spms",),
+            base_config=base_config,
+        )
+        jobs = matrix.expand()
+        assert matrix.parameter == "num_nodes"
+        assert len(jobs) == 4
+        combos = {(j.spec.config.num_nodes, j.spec.config.transmission_radius_m) for j in jobs}
+        assert combos == {(9, 10.0), (9, 15.0), (16, 10.0), (16, 15.0)}
+
+    def test_spawn_policy_derives_per_job_seeds(self, base_config):
+        matrix = matrix_from_axes("m", "num_nodes", (9, 16), base_config=base_config)
+        seeds = {j.key: j.spec.config.seed for j in matrix.expand()}
+        assert len(set(seeds.values())) == len(seeds)
+        assert all(seed != base_config.seed for seed in seeds.values())
+
+    def test_shared_policy_keeps_base_seed(self, base_config):
+        matrix = matrix_from_axes(
+            "m", "num_nodes", (9, 16), base_config=base_config, seed_policy="shared"
+        )
+        assert all(j.spec.config.seed == base_config.seed for j in matrix.expand())
+
+    def test_failures_and_options_propagate(self, base_config):
+        matrix = matrix_from_axes(
+            "m",
+            "transmission_radius_m",
+            (15.0,),
+            protocols=("spms",),
+            base_config=base_config,
+            workload="cluster",
+            workload_options={"packets_per_member": 1},
+            failures=FailureConfig(),
+        )
+        (job,) = matrix.expand()
+        assert job.spec.workload == "cluster"
+        assert job.spec.workload_options["packets_per_member"] == 1
+        assert job.spec.failures == FailureConfig()
+
+    def test_jobs_are_picklable(self, base_config):
+        jobs = matrix_from_axes("m", "num_nodes", (9,), base_config=base_config).expand()
+        assert pickle.loads(pickle.dumps(jobs[0])).key == jobs[0].key
+
+    def test_validation(self, base_config):
+        with pytest.raises(ValueError, match="axis"):
+            ScenarioMatrix(name="m", axes={"num_nodes": ()})
+        with pytest.raises(ValueError, match="seed policy"):
+            matrix_from_axes("m", "num_nodes", (9,), seed_policy="bogus")
+        with pytest.raises(ValueError, match="protocol"):
+            ScenarioMatrix(name="m", axes={"num_nodes": (9,)}, protocols=())
+
+
+class TestRegistry:
+    def test_builtin_figures_registered(self):
+        names = available_matrices()
+        for expected in ("fig06", "fig07", "fig10-failures", "fig12-mobility"):
+            assert expected in names
+
+    def test_get_matrix_builds_scaled_grid(self):
+        matrix = get_matrix("fig06", scale=bench_scale())
+        assert matrix.parameter == "num_nodes"
+        assert tuple(matrix.axes["num_nodes"]) == tuple(bench_scale().node_counts)
+        # The paper's figures keep one shared seed per sweep.
+        assert matrix.seed_policy == "shared"
+
+    def test_unknown_matrix_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="fig06"):
+            get_matrix("not-a-matrix")
+
+    def test_double_registration_rejected(self):
+        @register_matrix("test-once-only")
+        def factory(scale=None):  # pragma: no cover - never called
+            raise AssertionError
+
+        with pytest.raises(ValueError, match="registered twice"):
+            register_matrix("test-once-only")(factory)
