@@ -22,6 +22,12 @@ See ``examples/`` for richer scenarios and ``benchmarks/`` for the scripts
 that regenerate every figure of the paper.
 """
 
+from repro.build import (
+    ComponentRegistry,
+    SimulationBuilder,
+    default_registry,
+    register,
+)
 from repro.core import (
     DataCache,
     DataDescriptor,
@@ -60,7 +66,11 @@ from repro.sim import Simulator
 __version__ = "1.0.0"
 
 __all__ = [
+    "ComponentRegistry",
     "DataCache",
+    "SimulationBuilder",
+    "default_registry",
+    "register",
     "DataDescriptor",
     "DataItem",
     "ExperimentRunner",

@@ -3,17 +3,24 @@
 ``python -m repro`` exposes the most common operations without writing any
 code:
 
+* ``run``       — run one scenario described by a JSON spec file
+  (``repro run --spec scenario.json``; see ``ScenarioSpec.to_dict``).
 * ``compare``   — run SPMS and SPIN on the same scenario and print the
   headline metrics (energy per item, average delay, delivery ratio).
 * ``sweep``     — expand a registered scenario matrix into independent jobs
   and execute them across a worker pool, with optional content-addressed
   result caching and ``--resume``.
+* ``list``      — list registered components (protocols, workloads,
+  placements, mobility/failure/contention models) or scenario matrices.
 * ``figure``    — regenerate one of the paper's figures and print its rows.
 * ``list-figures`` — list the available figure names.
 * ``table1``    — print the Table 1 parameter set.
 
 Examples::
 
+    python -m repro run --spec examples/spec_smoke.json
+    python -m repro list protocols
+    python -m repro list placements
     python -m repro compare --nodes 49 --radius 20
     python -m repro sweep fig06 --workers 4
     python -m repro sweep fig06 --workers 4 --cache-dir .sweep-cache --resume
@@ -27,17 +34,41 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.build import BUILTIN_KINDS, default_registry
 from repro.experiments import figures
 from repro.experiments.claims import delay_ratio, energy_saving_percent
-from repro.experiments.config import FailureConfig, MobilityConfig, SimulationConfig
+from repro.experiments.config import (
+    FailureConfig,
+    MobilityConfig,
+    SimulationConfig,
+    SpecValidationError,
+)
 from repro.experiments.executor import assemble_sweep, execute_jobs
 from repro.experiments.matrix import available_matrices, get_matrix
 from repro.experiments.results import ResultCache, ScenarioResult
-from repro.experiments.runner import run_scenario
-from repro.experiments.scenarios import all_to_all_scenario, cluster_scenario
+from repro.experiments.runner import ExperimentRunner, run_scenario
+from repro.experiments.scenarios import (
+    ScenarioSpec,
+    all_to_all_scenario,
+    cluster_scenario,
+)
+
+def _listing_name(kind: str) -> str:
+    """User-facing (pluralised) name of a registry kind."""
+    return kind if kind in ("mobility", "contention") else f"{kind}s"
+
+
+#: `repro list` targets, derived from the registry kinds so a new built-in
+#: kind automatically becomes listable; plural name -> kind (None = matrices).
+LISTABLE_KINDS: Dict[str, Optional[str]] = {
+    _listing_name(kind): kind for kind in BUILTIN_KINDS
+}
+LISTABLE_KINDS["matrices"] = None
 
 #: Maps CLI figure names to (generator, metric, description).
 SIMULATED_FIGURES: Dict[str, tuple] = {
@@ -72,6 +103,27 @@ def build_parser() -> argparse.ArgumentParser:
         description="SPMS (DSN 2004) reproduction — comparisons and figure regeneration.",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser(
+        "run", help="run one scenario described by a JSON spec file"
+    )
+    run.add_argument(
+        "--spec", required=True,
+        help="path to a JSON scenario spec ('-' reads stdin); "
+             "see ScenarioSpec.to_dict for the schema",
+    )
+    run.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the full result as JSON instead of the summary table",
+    )
+
+    list_cmd = subparsers.add_parser(
+        "list", help="list registered components or scenario matrices"
+    )
+    list_cmd.add_argument(
+        "what", choices=sorted(LISTABLE_KINDS),
+        help="which registry to list",
+    )
 
     compare = subparsers.add_parser("compare", help="run SPMS and SPIN on one scenario")
     compare.add_argument("--nodes", type=int, default=49, help="number of sensor nodes")
@@ -130,6 +182,62 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("list-figures", help="list the figures that can be regenerated")
     subparsers.add_parser("table1", help="print the Table 1 parameter set")
     return parser
+
+
+def _cmd_run(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    if args.spec == "-":
+        text = sys.stdin.read()
+    else:
+        path = Path(args.spec)
+        if not path.is_file():
+            out(f"spec file not found: {path}")
+            return 2
+        text = path.read_text()
+    try:
+        spec = ScenarioSpec.from_json(text)
+    except SpecValidationError as exc:
+        out(f"invalid spec: {exc}")
+        return 2
+    # Only construction errors (unknown components, bad option values) are a
+    # spec problem worth a clean exit code; once built, the scenario runs
+    # unguarded so genuine simulation bugs surface with their traceback.
+    try:
+        runner = ExperimentRunner(spec)
+        runner.build()
+    except (KeyError, ValueError) as exc:
+        out(f"scenario failed to build: {exc}")
+        return 2
+    result = runner.run()
+    if args.as_json:
+        out(json.dumps(result.to_dict(), sort_keys=True, indent=1))
+        return 0
+    out(f"scenario {result.scenario!r} (protocol={result.protocol}, "
+        f"nodes={result.num_nodes}, radius={result.transmission_radius_m:g} m)")
+    for key, value in result.as_dict().items():
+        if key in ("protocol", "scenario", "num_nodes", "transmission_radius_m"):
+            continue
+        out(f"  {key:<24} {value:.4f}" if isinstance(value, float) else f"  {key:<24} {value}")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    kind = LISTABLE_KINDS[args.what]
+    if kind is None:
+        for name in available_matrices():
+            out(name)
+        return 0
+    registry = default_registry()
+    names = registry.available(kind)
+    if not names:
+        out(f"no registered {args.what}")
+        return 0
+    for name in names:
+        registration = registry.lookup(kind, name)
+        suffix = ""
+        if registration.aliases:
+            suffix = f"  (aliases: {', '.join(registration.aliases)})"
+        out(f"{name}{suffix}")
+    return 0
 
 
 def _cmd_compare(args: argparse.Namespace, out: Callable[[str], None]) -> int:
@@ -262,6 +370,10 @@ def _cmd_table1(out: Callable[[str], None]) -> int:
 def main(argv: Optional[Sequence[str]] = None, out: Callable[[str], None] = print) -> int:
     """CLI entry point.  Returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args, out)
+    if args.command == "list":
+        return _cmd_list(args, out)
     if args.command == "compare":
         return _cmd_compare(args, out)
     if args.command == "sweep":

@@ -164,12 +164,17 @@ class Network:
         self.metrics.energy.charge(sender, cost.energy_uj, category="tx")
         self.metrics.record_send(packet.packet_type.value)
         delivery_delay = (end + timing.processing_ms) - self.sim.now
-        for receiver in receivers:
-            self.sim.schedule(
-                delivery_delay,
-                lambda r=receiver, p=packet: self._deliver(r, p),
-                name=f"deliver.{packet.packet_type.value}",
-            )
+        if not receivers:
+            return
+        # One fan-out event per transmission (not one per receiver): every
+        # receiver of a broadcast hears the packet at the same instant, so a
+        # single event delivering in receiver order reproduces the exact
+        # per-receiver event sequence at a fraction of the calendar traffic.
+        self.sim.schedule(
+            delivery_delay,
+            lambda rs=tuple(receivers), p=packet: self._deliver_batch(rs, p),
+            name=f"deliver.{packet.packet_type.value}",
+        )
 
     def broadcast(self, sender: int, packet: Packet) -> bool:
         """Broadcast *packet* at maximum power to the sender's zone.
@@ -219,6 +224,11 @@ class Network:
         return True
 
     # ------------------------------------------------------------------ deliver
+
+    def _deliver_batch(self, receivers: Sequence[int], packet: Packet) -> None:
+        """Deliver one transmission to every receiver, in transmit order."""
+        for receiver in receivers:
+            self._deliver(receiver, packet)
 
     def _deliver(self, receiver: int, packet: Packet) -> None:
         if self.is_failed(receiver):

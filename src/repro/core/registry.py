@@ -1,44 +1,46 @@
-"""Protocol factory used by the experiment harness.
+"""Protocol factory — deprecated shim over :mod:`repro.build`.
 
-The harness only knows protocol names ("spms", "spin", "f-spms", ...); this
-module maps them to node constructors so scenarios stay declarative.  The
-``f-`` prefix (F-SPMS / F-SPIN in the paper's figures) does not change the
-protocol itself — failures are injected by the scenario — so it maps to the
-same node class.
+Historically this module hardwired the four built-in protocols in an
+if/elif chain.  Protocols now live in the pluggable component registry
+(:mod:`repro.build.registry`, populated by :mod:`repro.build.components`);
+these wrappers keep the old entry points working:
+
+* :func:`available_protocols` lists whatever is registered (including
+  third-party plugins), not a hardcoded tuple.
+* :func:`normalize_protocol_name` resolves registered names *and aliases*,
+  and understands the generic ``f-`` failure-variant prefix for every
+  registered protocol (``f-spms``, ``f-<plugin>``, ...).
+* :func:`create_protocol_node` instantiates through the registry.
+
+New code should import from :mod:`repro.build` directly.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import List, Optional
 
-from repro.core.flooding import FloodingNode
-from repro.core.gossip import GossipNode
 from repro.core.interests import InterestModel
 from repro.core.network import Network
 from repro.core.node_base import ProtocolNode
-from repro.core.spin import SpinNode
-from repro.core.spms import SpmsNode
 from repro.routing.manager import RoutingManager
 
-#: Canonical protocol names accepted by :func:`create_protocol_node`.
-_PROTOCOL_NAMES = ("spms", "spin", "flooding", "gossip")
+# repro.build.components imports the protocol node classes from this package,
+# so the registry itself is imported lazily inside each function to keep
+# `import repro.core` cycle-free.
 
 
 def available_protocols() -> List[str]:
-    """Names accepted by :func:`create_protocol_node`."""
-    return list(_PROTOCOL_NAMES)
+    """Canonical names of every registered protocol (built-in and plugin)."""
+    from repro.build.registry import PROTOCOL, default_registry
+
+    return default_registry().available(PROTOCOL)
 
 
 def normalize_protocol_name(name: str) -> str:
-    """Map user-facing names (including ``f-spms``/``f-spin``) to canonical ones."""
-    canonical = name.strip().lower()
-    if canonical.startswith("f-"):
-        canonical = canonical[2:]
-    if canonical not in _PROTOCOL_NAMES:
-        raise ValueError(
-            f"unknown protocol {name!r}; expected one of {sorted(_PROTOCOL_NAMES)}"
-        )
-    return canonical
+    """Map user-facing names (including generic ``f-`` variants) to canonical ones."""
+    from repro.build.components import normalize_protocol_name as _normalize
+
+    return _normalize(name)
 
 
 def create_protocol_node(
@@ -49,25 +51,24 @@ def create_protocol_node(
     routing: Optional[RoutingManager] = None,
     **kwargs,
 ) -> ProtocolNode:
-    """Instantiate a protocol node by name.
+    """Instantiate a registered protocol node by name.
 
     Args:
-        protocol: One of ``"spms"``, ``"spin"``, ``"flooding"``, ``"gossip"``
-            (optionally prefixed with ``"f-"``).
+        protocol: Any registered protocol name or alias (optionally prefixed
+            with ``"f-"``).
         node_id: The node id.
         network: Shared network object.
         interest_model: Which data the node wants.
-        routing: Routing manager; required for SPMS, ignored by the others.
+        routing: Routing manager; required by protocols registered with
+            ``needs_routing`` (SPMS), ignored by the others.
         **kwargs: Protocol-specific options forwarded to the constructor
             (timeouts, packet sizes, extension flags, ...).
     """
-    canonical = normalize_protocol_name(protocol)
-    if canonical == "spms":
-        if routing is None:
-            raise ValueError("SPMS requires a routing manager")
-        return SpmsNode(node_id, network, interest_model, routing, **kwargs)
-    if canonical == "spin":
-        return SpinNode(node_id, network, interest_model, **kwargs)
-    if canonical == "flooding":
-        return FloodingNode(node_id, network, interest_model, **kwargs)
-    return GossipNode(node_id, network, interest_model, **kwargs)
+    from repro.build.components import normalize_protocol_name as _normalize
+    from repro.build.registry import PROTOCOL, default_registry
+
+    registry = default_registry()
+    canonical = _normalize(protocol, registry=registry)
+    return registry.create(
+        PROTOCOL, canonical, node_id, network, interest_model, routing=routing, **kwargs
+    )

@@ -8,11 +8,40 @@ scale.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Any, Dict, Mapping, Optional, Type, TypeVar
 
-from repro.mac.contention import ContentionModel, QuadraticContention
+from repro.mac.contention import ContentionModel
 from repro.radio.power import MICA2_POWER_TABLE, PowerTable, build_power_table_for_radius
+
+_T = TypeVar("_T")
+
+
+class SpecValidationError(ValueError):
+    """A serialized spec/config dictionary failed validation."""
+
+
+def dataclass_from_mapping(cls: Type[_T], data: Mapping[str, Any], what: str) -> _T:
+    """Construct dataclass *cls* from *data*, rejecting unknown keys.
+
+    The shared deserialization path of every config/spec ``from_dict``:
+    unknown keys raise :class:`SpecValidationError` (typo protection for
+    hand-written JSON specs), known keys pass through the dataclass
+    constructor, whose ``__post_init__`` validation still applies.
+    """
+    if not isinstance(data, Mapping):
+        raise SpecValidationError(f"{what} must be a mapping, got {type(data).__name__}")
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise SpecValidationError(
+            f"unknown {what} keys {unknown}; known keys: {sorted(known)}"
+        )
+    try:
+        return cls(**dict(data))
+    except (TypeError, ValueError) as exc:
+        raise SpecValidationError(f"invalid {what}: {exc}") from exc
 
 #: Table 1 of the paper, kept verbatim for the parameter-table benchmark and
 #: the configuration tests.
@@ -35,11 +64,25 @@ TABLE1_PARAMETERS: Dict[str, object] = {
 
 @dataclass(frozen=True)
 class FailureConfig:
-    """Transient-failure injection parameters (Table 1 defaults)."""
+    """Failure injection parameters (Table 1 defaults).
+
+    ``model`` names a registered failure component (see
+    :mod:`repro.build.components`); the built-in is ``"transient"``.
+    """
 
     mean_interarrival_ms: float = 50.0
     repair_min_ms: float = 5.0
     repair_max_ms: float = 15.0
+    model: str = "transient"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dictionary representation."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FailureConfig":
+        """Inverse of :meth:`to_dict`; rejects unknown keys."""
+        return dataclass_from_mapping(cls, data, "failure configuration")
 
 
 @dataclass(frozen=True)
@@ -51,11 +94,23 @@ class MobilityConfig:
         move_fraction: Fraction of nodes relocated per epoch.
         max_displacement_m: Bound on per-node displacement (keeps the grid
             connected); ``None`` teleports anywhere in the field.
+        model: Name of a registered mobility component (built-ins: ``"step"``,
+            ``"waypoint"``).
     """
 
     num_epochs: int = 1
     move_fraction: float = 0.1
     max_displacement_m: Optional[float] = 10.0
+    model: str = "step"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dictionary representation."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MobilityConfig":
+        """Inverse of :meth:`to_dict`; rejects unknown keys."""
+        return dataclass_from_mapping(cls, data, "mobility configuration")
 
 
 @dataclass(frozen=True)
@@ -79,6 +134,8 @@ class SimulationConfig:
         slot_time_ms / num_slots: MAC backoff parameters.
         csma_g: Proportionality constant of the ``G n**2`` contention model
             (the paper's Section 4 analysis uses 0.01).
+        contention: Name of a registered contention component (built-ins:
+            ``"quadratic"``, ``"polynomial"``, ``"exponential"``).
         channel_reservation: Enable the shared-medium reservation model
             (transmissions block every node inside the used radius for their
             airtime).  The paper's own simulator models the MAC purely as the
@@ -115,6 +172,7 @@ class SimulationConfig:
     slot_time_ms: float = 0.1
     num_slots: int = 20
     csma_g: float = 0.01
+    contention: str = "quadratic"
     channel_reservation: bool = False
     rx_power_mw: float = 0.0125
     tout_adv_ms: float = 2.0
@@ -160,9 +218,26 @@ class SimulationConfig:
         )
 
     def contention_model(self) -> ContentionModel:
-        """The MAC contention model used by this configuration."""
-        return QuadraticContention(g=self.csma_g)
+        """The MAC contention model used by this configuration.
+
+        Resolved through the component registry, so any registered contention
+        plugin is selectable by name via :attr:`contention`.
+        """
+        from repro.build.registry import CONTENTION, create
+
+        return create(CONTENTION, self.contention, self)
 
     def with_overrides(self, **kwargs) -> "SimulationConfig":
         """A copy of this configuration with selected fields replaced."""
         return replace(self, **kwargs)
+
+    # -------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dictionary representation (every field, flat)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulationConfig":
+        """Inverse of :meth:`to_dict`; rejects unknown keys."""
+        return dataclass_from_mapping(cls, data, "simulation configuration")

@@ -140,6 +140,25 @@ def fig06_matrix(scale: "FigureScale | None" = None) -> ScenarioMatrix:
     )
 
 
+@register_matrix("fig06-random")
+def fig06_random_matrix(scale: "FigureScale | None" = None) -> ScenarioMatrix:
+    """Figure 6's node sweep on a uniform-random (non-grid) placement.
+
+    Not a figure of the paper: a robustness companion checking that the
+    SPMS-vs-SPIN comparison does not depend on grid regularity, and the
+    end-to-end exercise of the pluggable ``random`` placement component.
+    """
+    scale = _scale_or_bench(scale)
+    return matrix_from_axes(
+        "fig06-random",
+        "num_nodes",
+        scale.node_counts,
+        base_config=scale.base_config(transmission_radius_m=20.0),
+        placement="random",
+        seed_policy="shared",
+    )
+
+
 @register_matrix("fig07")
 def fig07_matrix(scale: "FigureScale | None" = None) -> ScenarioMatrix:
     """Static all-to-all radius sweep (Figures 7 and 9 share these runs)."""

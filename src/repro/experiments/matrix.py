@@ -31,9 +31,9 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments.config import FailureConfig, MobilityConfig, SimulationConfig
 from repro.experiments.scenarios import (
+    SCHEMA_KEY,
+    SPEC_SCHEMA_VERSION,
     ScenarioSpec,
-    all_to_all_scenario,
-    cluster_scenario,
 )
 from repro.sim.rng import spawn_seed
 
@@ -78,10 +78,13 @@ class ScenarioMatrix:
             :class:`~repro.experiments.results.SweepResult`.
         protocols: Protocols compared at every grid point.
         base_config: Configuration shared by all jobs (axes override fields).
-        workload: Workload kind ("all_to_all" or "cluster").
+        workload: Name of a registered workload ("all_to_all", "cluster", or
+            any plugin taking no schedule-specific required options).
         workload_options: Extra workload constructor arguments.
-        failures: Transient-failure injection, or ``None``.
-        mobility: Step mobility, or ``None``.
+        placement: Name of a registered placement ("grid", "random", ...).
+        placement_options: Extra placement factory arguments.
+        failures: Failure injection, or ``None``.
+        mobility: Mobility, or ``None``.
         seed_policy: "spawn" (per-job derived seeds) or "shared" (all jobs use
             ``base_config.seed``).
         scenario_factory: Optional custom spec builder ``(protocol, config,
@@ -95,6 +98,8 @@ class ScenarioMatrix:
     base_config: SimulationConfig = field(default_factory=SimulationConfig)
     workload: str = "all_to_all"
     workload_options: Mapping[str, object] = field(default_factory=dict)
+    placement: str = "grid"
+    placement_options: Mapping[str, object] = field(default_factory=dict)
     failures: Optional[FailureConfig] = None
     mobility: Optional[MobilityConfig] = None
     seed_policy: str = "spawn"
@@ -167,22 +172,25 @@ class ScenarioMatrix:
     def _build_spec(
         self, protocol: str, config: SimulationConfig, name: str
     ) -> ScenarioSpec:
-        options = dict(self.workload_options)
         if self.scenario_factory is not None:
             return self.scenario_factory(protocol, config, name)
-        if self.workload == "cluster":
-            return cluster_scenario(
-                protocol, config, failures=self.failures, **options
-            )
-        if self.workload == "all_to_all":
-            return all_to_all_scenario(
-                protocol,
-                config,
-                failures=self.failures,
-                mobility=self.mobility,
-                **options,
-            )
-        raise ValueError(f"unknown workload kind {self.workload!r}")
+        # Jobs are materialised from the canonical serialized-spec payload —
+        # the same dictionary layout `repro run --spec` consumes and the
+        # result cache hashes — so any registered workload/placement plugin
+        # is sweepable and the payload is validated on the way in.
+        payload = {
+            SCHEMA_KEY: SPEC_SCHEMA_VERSION,
+            "name": f"{self.workload.replace('_', '-')}/{protocol}",
+            "protocol": protocol,
+            "config": config.to_dict(),
+            "workload": self.workload,
+            "workload_options": dict(self.workload_options),
+            "placement": self.placement,
+            "placement_options": dict(self.placement_options),
+            "failures": self.failures.to_dict() if self.failures is not None else None,
+            "mobility": self.mobility.to_dict() if self.mobility is not None else None,
+        }
+        return ScenarioSpec.from_dict(payload)
 
 
 # ------------------------------------------------------------------ registry

@@ -181,23 +181,34 @@ class SweepResult:
 
 # ------------------------------------------------------------- result cache
 
-#: Bumped whenever the simulation semantics change in a way that invalidates
-#: previously cached results (part of every cache key).
-CACHE_SCHEMA_VERSION = 1
+#: Bumped whenever the simulation semantics or the serialized spec layout
+#: change in a way that invalidates previously cached results (part of every
+#: cache key).  Version history:
+#:
+#: * 1 — ``dataclasses.asdict`` rendering of the spec.
+#: * 2 — canonical :meth:`ScenarioSpec.to_dict` rendering (the spec gained
+#:   ``placement``/``placement_options``, the configs gained ``model``/
+#:   ``contention`` component selectors).  This was a deliberate one-shot
+#:   invalidation of every v1 cache entry: old entries are simply never
+#:   matched again and can be deleted at leisure.
+CACHE_SCHEMA_VERSION = 2
 
 
 def spec_fingerprint(spec) -> str:
     """Content hash (hex SHA-256) identifying a scenario spec.
 
-    The fingerprint covers every field of the spec — protocol, workload and
-    its options, the full :class:`SimulationConfig` (including the seed) and
-    the failure/mobility parameters — rendered as canonical JSON.  Values that
-    are not JSON-native (e.g. custom workload objects) fall back to ``repr``,
-    which keeps the key deterministic as long as the object's repr is.
+    The fingerprint is the canonical serialized form of the spec
+    (:meth:`ScenarioSpec.to_dict` — protocol, workload/placement and their
+    options, the full :class:`SimulationConfig` including the seed, and the
+    failure/mobility parameters) rendered as canonical JSON — the same
+    dictionary layout ``repro run --spec`` consumes.  Values that are not
+    JSON-native (e.g. custom workload objects) fall back to ``repr``, which
+    keeps the key deterministic as long as the object's repr is.
     """
+    payload = spec.to_dict() if hasattr(spec, "to_dict") else dataclasses.asdict(spec)
     description = {
         "schema": CACHE_SCHEMA_VERSION,
-        "spec": dataclasses.asdict(spec),
+        "spec": payload,
     }
     text = json.dumps(description, sort_keys=True, default=repr)
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
@@ -235,7 +246,9 @@ class ResultCache:
         path.parent.mkdir(parents=True, exist_ok=True)
         payload: Dict[str, object] = {"key": key, "result": result.to_dict()}
         if spec is not None:
-            payload["spec"] = dataclasses.asdict(spec)
+            payload["spec"] = (
+                spec.to_dict() if hasattr(spec, "to_dict") else dataclasses.asdict(spec)
+            )
         tmp = path.with_suffix(".tmp")
         tmp.write_text(json.dumps(payload, sort_keys=True, default=repr, indent=1))
         tmp.replace(path)

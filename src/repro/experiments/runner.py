@@ -1,10 +1,14 @@
 """Builds and runs one scenario end to end.
 
-The runner assembles the whole stack from a :class:`ScenarioSpec`:
+Construction is delegated to :class:`repro.build.builder.SimulationBuilder`,
+which assembles the stack through named, overridable phases:
 
-    simulator -> field -> power table / zones -> energy + MAC models ->
-    network -> routing manager (SPMS) -> protocol nodes -> workload ->
-    failure injector / mobility -> run -> ScenarioResult
+    field -> radio -> mac -> network -> routing -> workload -> nodes -> faults
+
+and resolves every component (placement, contention, workload, protocol,
+failure/mobility models) through the pluggable component registry.  The
+runner owns the *execution* of the built simulation: scheduling traffic,
+driving mobility epochs, starting failure injection and collecting results.
 
 Mobility runs are executed as a sequence of traffic *bursts*: the origination
 schedule is split into ``num_epochs + 1`` contiguous groups; after each group
@@ -19,38 +23,38 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional
 
+from repro.build.builder import SimulationBuilder
+from repro.build.registry import ComponentRegistry
 from repro.core.network import Network
 from repro.core.node_base import ProtocolNode
-from repro.core.registry import create_protocol_node, normalize_protocol_name
 from repro.experiments.config import SimulationConfig
 from repro.experiments.results import ScenarioResult
 from repro.experiments.scenarios import ScenarioSpec
 from repro.faults.injector import FailureInjector
-from repro.faults.models import TransientFailureModel
-from repro.mac.channel import ChannelReservation
-from repro.mac.delay import MacDelayModel
 from repro.metrics.collector import MetricsCollector
-from repro.mobility.step import StepMobilityModel
-from repro.radio.energy import EnergyModel
 from repro.routing.manager import RoutingManager
 from repro.sim.engine import Simulator
 from repro.topology.field import SensorField
-from repro.topology.placement import grid_placement
 from repro.topology.zone import ZoneMap
-from repro.workload.all_to_all import AllToAllWorkload
 from repro.workload.base import ScheduledItem, Workload
-from repro.workload.cluster import ClusterWorkload
-from repro.workload.poisson import PoissonArrivals
-from repro.workload.single_pair import SinglePairWorkload
 
 
 class ExperimentRunner:
-    """Owns every object of one scenario run."""
+    """Owns every object of one scenario run.
 
-    def __init__(self, spec: ScenarioSpec) -> None:
+    Args:
+        spec: The scenario to run.
+        registry: Optional component registry override (tests register
+            throwaway plugins in private registries).
+    """
+
+    def __init__(
+        self, spec: ScenarioSpec, registry: Optional[ComponentRegistry] = None
+    ) -> None:
         self.spec = spec
         self.config: SimulationConfig = spec.config
-        self.protocol = normalize_protocol_name(spec.protocol)
+        self.builder = SimulationBuilder(spec, registry=registry)
+        self.protocol = self.builder.protocol
         self.sim: Optional[Simulator] = None
         self.field: Optional[SensorField] = None
         self.zone_map: Optional[ZoneMap] = None
@@ -66,101 +70,20 @@ class ExperimentRunner:
     # -------------------------------------------------------------------- build
 
     def build(self) -> None:
-        """Construct the full simulation (idempotent)."""
+        """Construct the full simulation via the phase builder (idempotent)."""
         if self._built:
             return
-        config = self.config
-        self.sim = Simulator(seed=config.seed, trace=self.spec.trace)
-        self.field = SensorField(grid_placement(config.num_nodes, config.grid_spacing_m))
-        power_table = config.power_table()
-        self.zone_map = ZoneMap(self.field, config.transmission_radius_m)
-        self.metrics = MetricsCollector()
-        energy_model = EnergyModel(
-            power_table,
-            t_tx_per_byte_ms=config.t_tx_per_byte_ms,
-            rx_power_mw=config.rx_power_mw,
-        )
-        mac_delay = MacDelayModel(
-            contention=config.contention_model(),
-            slot_time_ms=config.slot_time_ms,
-            num_slots=config.num_slots,
-            t_tx_per_byte_ms=config.t_tx_per_byte_ms,
-            t_proc_ms=config.t_proc_ms,
-            rng=self.sim.rng if config.random_backoff else None,
-        )
-        channel = ChannelReservation() if config.channel_reservation else None
-        self.network = Network(
-            sim=self.sim,
-            field=self.field,
-            power_table=power_table,
-            zone_map=self.zone_map,
-            energy_model=energy_model,
-            mac_delay=mac_delay,
-            metrics=self.metrics,
-            channel=channel,
-            trace=self.spec.trace,
-        )
-        if self.protocol == "spms":
-            self.routing = RoutingManager(
-                field=self.field,
-                power_table=power_table,
-                zone_map=self.zone_map,
-                energy_model=energy_model,
-                energy_ledger=self.metrics.energy,
-                mac_delay=mac_delay,
-                charge_energy=self.spec.charge_initial_routing,
-            )
-            self.routing.build()
-            # Re-executions caused by mobility are always charged.
-            self.routing.charge_energy = True
-        self.workload = self._build_workload()
-        self.schedule = self.workload.generate(self.sim.rng)
-        interest_model = self.workload.interest_model()
-        for node_id in self.field.node_ids:
-            node = create_protocol_node(
-                self.protocol,
-                node_id,
-                self.network,
-                interest_model,
-                routing=self.routing,
-                **self._protocol_kwargs(),
-            )
-            self.network.register_node(node)
-            self.nodes[node_id] = node
+        builder = self.builder.build()
+        self.sim = builder.sim
+        self.field = builder.field
+        self.zone_map = builder.zone_map
+        self.network = builder.network
+        self.routing = builder.routing
+        self.metrics = builder.metrics
+        self.nodes = builder.nodes
+        self.workload = builder.workload
+        self.schedule = builder.schedule
         self._built = True
-
-    def _build_workload(self) -> Workload:
-        assert self.field is not None and self.zone_map is not None
-        config = self.config
-        options = dict(self.spec.workload_options)
-        arrivals = PoissonArrivals(mean_interarrival_ms=config.arrival_mean_interarrival_ms)
-        if self.spec.workload == "all_to_all":
-            options.setdefault("packets_per_node", config.packets_per_node)
-            options.setdefault("data_size_bytes", config.data_size_bytes)
-            options.setdefault("arrivals", arrivals)
-            return AllToAllWorkload(self.field.node_ids, **options)
-        if self.spec.workload == "cluster":
-            options.setdefault("data_size_bytes", config.data_size_bytes)
-            options.setdefault("arrivals", arrivals)
-            return ClusterWorkload(self.field, self.zone_map, **options)
-        if self.spec.workload == "single_pair":
-            options.setdefault("data_size_bytes", config.data_size_bytes)
-            return SinglePairWorkload(**options)
-        raise ValueError(f"unknown workload kind {self.spec.workload!r}")
-
-    def _protocol_kwargs(self) -> Dict[str, object]:
-        config = self.config
-        kwargs: Dict[str, object] = {}
-        if self.protocol in ("spms", "spin"):
-            kwargs["adv_size_bytes"] = config.adv_size_bytes
-            kwargs["req_size_bytes"] = config.req_size_bytes
-        if self.protocol == "spms":
-            kwargs["tout_adv_ms"] = config.tout_adv_ms
-            kwargs["tout_dat_ms"] = config.tout_dat_ms
-        if self.protocol == "spin":
-            kwargs["tout_dat_ms"] = config.tout_dat_ms
-        kwargs.update(self.spec.protocol_options)
-        return kwargs
 
     # ---------------------------------------------------------------------- run
 
@@ -206,11 +129,8 @@ class ExperimentRunner:
         if self.spec.failures is None:
             return
         assert self.sim is not None and self.network is not None and self.field is not None
-        model = TransientFailureModel(
-            mean_interarrival_ms=self.spec.failures.mean_interarrival_ms,
-            repair_min_ms=self.spec.failures.repair_min_ms,
-            repair_max_ms=self.spec.failures.repair_max_ms,
-        )
+        model = self.builder.failure_model
+        assert model is not None
         self.injector = FailureInjector(
             sim=self.sim,
             target=self.network,
@@ -224,11 +144,8 @@ class ExperimentRunner:
         assert self.sim is not None and self.field is not None and self.zone_map is not None
         mobility = self.spec.mobility
         assert mobility is not None
-        model = StepMobilityModel(
-            self.field,
-            move_fraction=mobility.move_fraction,
-            max_displacement_m=mobility.max_displacement_m,
-        )
+        model = self.builder.mobility_model
+        assert model is not None
         bursts = self._split_bursts(self.schedule, mobility.num_epochs + 1)
         for index, burst in enumerate(bursts):
             self._schedule_burst(burst)

@@ -68,22 +68,29 @@ class _DefaultScenarioFactory:
         failures: Optional[FailureConfig],
         mobility: Optional[MobilityConfig],
         workload_options: Dict[str, object],
+        placement: str = "grid",
     ) -> None:
         self.workload = workload
         self.failures = failures
         self.mobility = mobility
         self.workload_options = dict(workload_options)
+        self.placement = placement
 
     def __call__(self, protocol: str, config: SimulationConfig, name: str) -> ScenarioSpec:
         if self.workload == "cluster":
             return cluster_scenario(
-                protocol, config, failures=self.failures, **self.workload_options
+                protocol,
+                config,
+                failures=self.failures,
+                placement=self.placement,
+                **self.workload_options,
             )
         return all_to_all_scenario(
             protocol,
             config,
             failures=self.failures,
             mobility=self.mobility,
+            placement=self.placement,
             **self.workload_options,
         )
 
@@ -102,12 +109,15 @@ def _legacy_sweep(
     cache: Optional[ResultCache],
     resume: bool,
     workload_options: Dict[str, object],
+    placement: str = "grid",
 ) -> SweepResult:
     base = base_config if base_config is not None else SimulationConfig()
     if scenario_factory is not None:
         factory = _LegacyFactoryAdapter(scenario_factory)
     else:
-        factory = _DefaultScenarioFactory(workload, failures, mobility, workload_options)
+        factory = _DefaultScenarioFactory(
+            workload, failures, mobility, workload_options, placement=placement
+        )
     matrix = matrix_from_axes(
         name,
         parameter,
@@ -132,6 +142,7 @@ def sweep_nodes(
     workers: int = 1,
     cache: Optional[ResultCache] = None,
     resume: bool = False,
+    placement: str = "grid",
     **workload_options,
 ) -> SweepResult:
     """Run every protocol at every node count (Figures 6, 8, 10).
@@ -163,6 +174,7 @@ def sweep_nodes(
         cache,
         resume,
         workload_options,
+        placement=placement,
     )
 
 
@@ -177,6 +189,7 @@ def sweep_radius(
     workers: int = 1,
     cache: Optional[ResultCache] = None,
     resume: bool = False,
+    placement: str = "grid",
     **workload_options,
 ) -> SweepResult:
     """Run every protocol at every transmission radius (Figures 7, 9, 11-13)."""
@@ -194,4 +207,5 @@ def sweep_radius(
         cache,
         resume,
         workload_options,
+        placement=placement,
     )

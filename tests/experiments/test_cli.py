@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cli import ANALYTICAL_FIGURES, SIMULATED_FIGURES, build_parser, main
@@ -127,3 +130,110 @@ class TestSweepCommand:
         lines, out = capture
         assert main(["sweep", "fig06", "--resume"], out=out) == 2
         assert any("--cache-dir" in line for line in lines)
+
+
+class TestListCommand:
+    def test_list_protocols(self, capture):
+        lines, out = capture
+        assert main(["list", "protocols"], out=out) == 0
+        text = "\n".join(lines)
+        for protocol in ("spms", "spin", "flooding", "gossip"):
+            assert protocol in text
+        assert "(aliases: flood)" in text  # alias display
+
+    def test_list_workloads_and_placements(self, capture):
+        lines, out = capture
+        assert main(["list", "workloads"], out=out) == 0
+        assert main(["list", "placements"], out=out) == 0
+        text = "\n".join(lines)
+        assert "all_to_all" in text and "cluster" in text and "single_pair" in text
+        assert "grid" in text and "random" in text
+
+    def test_list_matrices(self, capture):
+        lines, out = capture
+        assert main(["list", "matrices"], out=out) == 0
+        text = "\n".join(lines)
+        assert "fig06" in text and "fig06-random" in text
+
+    def test_list_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["list", "gadgets"])
+
+
+class TestRunCommand:
+    SPEC = {
+        "schema_version": 1,
+        "name": "cli-test/spin",
+        "protocol": "spin",
+        "workload": "all_to_all",
+        "placement": "random",
+        "config": {
+            "num_nodes": 9,
+            "packets_per_node": 1,
+            "transmission_radius_m": 20.0,
+            "grid_spacing_m": 5.0,
+            "seed": 3,
+        },
+    }
+
+    def _write_spec(self, tmp_path, payload):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_run_spec_file(self, capture, tmp_path):
+        lines, out = capture
+        assert main(["run", "--spec", self._write_spec(tmp_path, self.SPEC)], out=out) == 0
+        text = "\n".join(lines)
+        assert "cli-test/spin" in text
+        assert "energy_per_item_uj" in text
+
+    def test_run_spec_json_output_is_machine_readable(self, capture, tmp_path):
+        lines, out = capture
+        path = self._write_spec(tmp_path, self.SPEC)
+        assert main(["run", "--spec", path, "--json"], out=out) == 0
+        payload = json.loads("\n".join(lines))
+        assert payload["protocol"] == "spin"
+        assert payload["items_generated"] == 9
+
+    def test_run_is_deterministic_across_invocations(self, capture, tmp_path):
+        lines, out = capture
+        path = self._write_spec(tmp_path, self.SPEC)
+        assert main(["run", "--spec", path, "--json"], out=out) == 0
+        first = "\n".join(lines)
+        lines.clear()
+        assert main(["run", "--spec", path, "--json"], out=out) == 0
+        assert "\n".join(lines) == first
+
+    def test_run_missing_file(self, capture):
+        lines, out = capture
+        assert main(["run", "--spec", "/no/such/spec.json"], out=out) == 2
+        assert any("not found" in line for line in lines)
+
+    def test_run_invalid_spec_reports_validation_error(self, capture, tmp_path):
+        lines, out = capture
+        bad = dict(self.SPEC)
+        bad["not_a_key"] = True
+        assert main(["run", "--spec", self._write_spec(tmp_path, bad)], out=out) == 2
+        assert any("invalid spec" in line for line in lines)
+
+    def test_run_unknown_component_fails_cleanly(self, capture, tmp_path):
+        lines, out = capture
+        bad = dict(self.SPEC)
+        bad["placement"] = "hexagonal"
+        assert main(["run", "--spec", self._write_spec(tmp_path, bad)], out=out) == 2
+        assert any("scenario failed to build" in line for line in lines)
+
+    def test_run_reads_stdin(self, capture, monkeypatch):
+        import io
+
+        lines, out = capture
+        monkeypatch.setattr("sys.stdin", io.StringIO(json.dumps(self.SPEC)))
+        assert main(["run", "--spec", "-"], out=out) == 0
+        assert any("cli-test/spin" in line for line in lines)
+
+    def test_checked_in_smoke_spec_runs(self, capture):
+        lines, out = capture
+        spec_path = Path(__file__).resolve().parents[2] / "examples" / "spec_smoke.json"
+        assert main(["run", "--spec", str(spec_path)], out=out) == 0
+        assert any("smoke/spms-random-placement" in line for line in lines)
