@@ -48,18 +48,25 @@ from repro.experiments import (
     FailureConfig,
     MobilityConfig,
     Sandbox,
-    ScenarioResult,
     ScenarioSpec,
     SimulationConfig,
-    SweepResult,
     all_to_all_scenario,
     build_sandbox,
     cluster_scenario,
     line_positions,
     run_scenario,
+    run_scenario_record,
     single_pair_scenario,
     sweep_nodes,
     sweep_radius,
+)
+from repro.results import (
+    MetricsSummary,
+    ResultCache,
+    RunRecord,
+    RunStore,
+    ScenarioResult,
+    SweepResult,
 )
 from repro.sim import Simulator
 
@@ -77,11 +84,15 @@ __all__ = [
     "FailureConfig",
     "FloodingNode",
     "GossipNode",
+    "MetricsSummary",
     "MobilityConfig",
     "Network",
     "Packet",
     "PacketType",
     "ProtocolNode",
+    "ResultCache",
+    "RunRecord",
+    "RunStore",
     "Sandbox",
     "ScenarioResult",
     "ScenarioSpec",
@@ -97,6 +108,7 @@ __all__ = [
     "create_protocol_node",
     "line_positions",
     "run_scenario",
+    "run_scenario_record",
     "single_pair_scenario",
     "sweep_nodes",
     "sweep_radius",

@@ -3,8 +3,13 @@
 ``python -m repro`` exposes the most common operations without writing any
 code:
 
-* ``run``       — run one scenario described by a JSON spec file
-  (``repro run --spec scenario.json``; see ``ScenarioSpec.to_dict``).
+* ``run``       — run scenarios described by JSON spec files: one
+  (``repro run --spec scenario.json``), a whole directory
+  (``repro run --spec-dir specs/ --workers 4``) or an explicit fleet
+  (``repro run --specs a.json b.json``); batch runs reuse the sweep worker
+  pool and can persist a run directory of records (``--run-dir``).
+* ``report``    — render metric tables from a run directory written by a
+  previous batch run or sweep (``repro report runs/demo --metric X``).
 * ``compare``   — run SPMS and SPIN on the same scenario and print the
   headline metrics (energy per item, average delay, delivery ratio).
 * ``sweep``     — expand a registered scenario matrix into independent jobs
@@ -19,6 +24,8 @@ code:
 Examples::
 
     python -m repro run --spec examples/spec_smoke.json
+    python -m repro run --spec-dir examples/ --workers 2 --run-dir runs/demo
+    python -m repro report runs/demo --metric energy_per_item_uj
     python -m repro list protocols
     python -m repro list placements
     python -m repro compare --nodes 49 --radius 20
@@ -37,9 +44,19 @@ import dataclasses
 import json
 import sys
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.build import BUILTIN_KINDS, default_registry
+from repro.build import (
+    BUILTIN_KINDS,
+    CONTENTION,
+    FAILURE,
+    MOBILITY,
+    PLACEMENT,
+    WORKLOAD,
+    UnknownComponentError,
+    default_registry,
+    normalize_protocol_name,
+)
 from repro.experiments import figures
 from repro.experiments.claims import delay_ratio, energy_saving_percent
 from repro.experiments.config import (
@@ -48,15 +65,31 @@ from repro.experiments.config import (
     SimulationConfig,
     SpecValidationError,
 )
-from repro.experiments.executor import assemble_sweep, execute_jobs
-from repro.experiments.matrix import available_matrices, get_matrix
-from repro.experiments.results import ResultCache, ScenarioResult
+from repro.experiments.executor import assemble_sweep, execute_jobs, stream_jobs
+from repro.experiments.matrix import SweepJob, available_matrices, get_matrix
 from repro.experiments.runner import ExperimentRunner, run_scenario
 from repro.experiments.scenarios import (
     ScenarioSpec,
     all_to_all_scenario,
     cluster_scenario,
 )
+from repro.results import (
+    ResultCache,
+    RunRecord,
+    RunStore,
+    RunStoreError,
+    ScenarioResult,
+)
+
+#: Metric names accepted by ``sweep --metric`` / ``report --metric`` — the
+#: numeric scalar headline metrics every record exposes (names like
+#: ``protocol`` or dict-valued fields such as ``packets_sent`` are not
+#: tabulatable and are rejected up front).
+METRIC_NAMES = tuple(sorted(
+    f.name
+    for f in dataclasses.fields(ScenarioResult)
+    if f.type in ("int", "float")
+))
 
 def _listing_name(kind: str) -> str:
     """User-facing (pluralised) name of a registry kind."""
@@ -105,16 +138,50 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run = subparsers.add_parser(
-        "run", help="run one scenario described by a JSON spec file"
+        "run", help="run scenarios described by JSON spec files"
     )
-    run.add_argument(
-        "--spec", required=True,
+    sources = run.add_mutually_exclusive_group(required=True)
+    sources.add_argument(
+        "--spec",
         help="path to a JSON scenario spec ('-' reads stdin); "
              "see ScenarioSpec.to_dict for the schema",
     )
+    sources.add_argument(
+        "--spec-dir",
+        help="run every *.json spec in a directory as one batch (fleet mode)",
+    )
+    sources.add_argument(
+        "--specs", nargs="+", metavar="SPEC",
+        help="run an explicit list of spec files as one batch",
+    )
+    run.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for batch runs (1 = serial)",
+    )
+    run.add_argument(
+        "--run-dir", default=None,
+        help="run directory to append batch records to (see 'repro report')",
+    )
     run.add_argument(
         "--json", action="store_true", dest="as_json",
-        help="print the full result as JSON instead of the summary table",
+        help="print the full result(s) as JSON instead of the summary table",
+    )
+
+    report = subparsers.add_parser(
+        "report", help="render metric tables from a run directory"
+    )
+    report.add_argument("run_dir", help="run directory written by 'repro run --run-dir'")
+    report.add_argument(
+        "--metric", default="energy_per_item_uj", choices=METRIC_NAMES,
+        metavar="METRIC",
+        help="record metric to tabulate (default: energy_per_item_uj)",
+    )
+    report.add_argument(
+        "--protocol", default=None, help="only report records of this protocol"
+    )
+    report.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the selected records as JSON instead of a table",
     )
 
     list_cmd = subparsers.add_parser(
@@ -161,6 +228,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory of the content-addressed result cache (written through)",
     )
     sweep.add_argument(
+        "--run-dir", default=None,
+        help="run directory to append the sweep's records to (see 'repro report')",
+    )
+    sweep.add_argument(
         "--resume", action="store_true",
         help="serve jobs already present in --cache-dir instead of re-running",
     )
@@ -185,6 +256,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    if args.spec is not None:
+        return _run_single_spec(args, out)
+    return _run_spec_batch(args, out)
+
+
+def _run_single_spec(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     if args.spec == "-":
         text = sys.stdin.read()
     else:
@@ -207,7 +284,10 @@ def _cmd_run(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     except (KeyError, ValueError) as exc:
         out(f"scenario failed to build: {exc}")
         return 2
-    result = runner.run()
+    record = runner.run_record()
+    if args.run_dir:
+        RunStore(args.run_dir).append(record)
+    result = ScenarioResult.from_record(record)
     if args.as_json:
         out(json.dumps(result.to_dict(), sort_keys=True, indent=1))
         return 0
@@ -217,6 +297,152 @@ def _cmd_run(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         if key in ("protocol", "scenario", "num_nodes", "transmission_radius_m"):
             continue
         out(f"  {key:<24} {value:.4f}" if isinstance(value, float) else f"  {key:<24} {value}")
+    if args.run_dir:
+        out(f"record appended to {args.run_dir}")
+    return 0
+
+
+def _load_spec_fleet(
+    args: argparse.Namespace, out: Callable[[str], None]
+) -> Optional[List[Tuple[str, ScenarioSpec]]]:
+    """The (name, spec) fleet of a batch run, or ``None`` on a user error."""
+    if args.spec_dir is not None:
+        spec_dir = Path(args.spec_dir)
+        if not spec_dir.is_dir():
+            out(f"spec directory not found: {spec_dir}")
+            return None
+        paths = sorted(spec_dir.glob("*.json"))
+        if not paths:
+            out(f"no *.json specs in {spec_dir}")
+            return None
+    else:
+        paths = [Path(p) for p in args.specs]
+    fleet: List[Tuple[str, ScenarioSpec]] = []
+    seen: Dict[str, int] = {}
+    for path in paths:
+        if not path.is_file():
+            out(f"spec file not found: {path}")
+            return None
+        try:
+            spec = ScenarioSpec.from_json(path.read_text())
+        except SpecValidationError as exc:
+            out(f"invalid spec {path}: {exc}")
+            return None
+        # File stems name the runs; duplicates get a #N suffix so records
+        # from e.g. repeated `--specs a.json a.json` stay distinguishable.
+        name = path.stem
+        if name in seen:
+            seen[name] += 1
+            name = f"{name}#{seen[name]}"
+        else:
+            seen[name] = 0
+        fleet.append((name, spec))
+    return fleet
+
+
+def _resolve_spec_components(spec: ScenarioSpec) -> None:
+    """Resolve every component name a spec references (without building).
+
+    The cheap fail-fast check for fleets: unknown protocols/workloads/
+    placements/models surface before the worker pool spins up, without
+    paying a full simulation build per spec in the parent process (bad
+    option *values* still surface in the worker that builds the scenario).
+    """
+    registry = default_registry()
+    normalize_protocol_name(spec.protocol, registry=registry)
+    registry.lookup(WORKLOAD, spec.workload)
+    registry.lookup(PLACEMENT, spec.placement)
+    registry.lookup(CONTENTION, spec.config.contention)
+    if spec.failures is not None:
+        registry.lookup(FAILURE, spec.failures.model)
+    if spec.mobility is not None:
+        registry.lookup(MOBILITY, spec.mobility.model)
+
+
+def _run_spec_batch(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    fleet = _load_spec_fleet(args, out)
+    if fleet is None:
+        return 2
+    # Fail fast on specs referencing unknown components before the pool
+    # spins up — a fleet should not die halfway through.
+    for name, spec in fleet:
+        try:
+            _resolve_spec_components(spec)
+        except (UnknownComponentError, KeyError, ValueError) as exc:
+            out(f"scenario {name!r} failed to build: {exc}")
+            return 2
+    jobs = [
+        SweepJob(
+            index=index,
+            key=name,
+            matrix="batch",
+            parameter="spec",
+            value=name,
+            protocol=spec.protocol,
+            spec=spec,
+            axes={"spec": name},
+        )
+        for index, (name, spec) in enumerate(fleet)
+    ]
+    store = RunStore(args.run_dir) if args.run_dir else None
+    out(f"batch: {len(jobs)} spec(s), workers={args.workers}"
+        + (f", run-dir={args.run_dir}" if args.run_dir else ""))
+    records: List[RunRecord] = []
+    for completion in stream_jobs(jobs, workers=args.workers, store=store):
+        record = completion.record
+        records.append(record)
+        if not args.as_json:
+            out(
+                f"  [done] {record.key} ({record.protocol}): "
+                f"energy/item={record.energy_per_item_uj:.3f} uJ, "
+                f"delay={record.average_delay_ms:.2f} ms, "
+                f"delivered={record.delivery_ratio:.0%}"
+            )
+    records.sort(key=lambda r: r.key)
+    if args.as_json:
+        out(json.dumps([r.to_dict() for r in records], sort_keys=True, indent=1))
+        return 0
+    out("")
+    out(_record_table(records, "energy_per_item_uj"))
+    if store is not None:
+        out("")
+        out(f"{len(records)} record(s) appended to {args.run_dir}")
+    return 0
+
+
+def _record_table(records: Sequence[RunRecord], metric: str) -> str:
+    """Fixed-width key/protocol/metric table over *records*."""
+    key_width = max([len("run")] + [len(r.key) for r in records])
+    header = f"{'run':<{key_width}} {'protocol':>10} {metric:>20}"
+    lines = [header, "-" * len(header)]
+    for record in records:
+        value = getattr(record, metric, None)
+        rendered = f"{value:.4f}" if isinstance(value, float) else str(value)
+        lines.append(f"{record.key:<{key_width}} {record.protocol:>10} {rendered:>20}")
+    return "\n".join(lines)
+
+
+def _cmd_report(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    store = RunStore(args.run_dir)
+    if not Path(args.run_dir).is_dir():
+        out(f"run directory not found: {args.run_dir}")
+        return 2
+    try:
+        records = store.query(protocol=args.protocol)
+    except RunStoreError as exc:
+        out(f"unreadable run directory: {exc}")
+        return 2
+    if not records:
+        out(f"no records in {args.run_dir}"
+            + (f" for protocol {args.protocol!r}" if args.protocol else ""))
+        return 2
+    records = sorted(records, key=lambda r: r.key)
+    if args.as_json:
+        out(json.dumps([r.to_dict() for r in records], sort_keys=True, indent=1))
+        return 0
+    out(f"{len(records)} record(s) in {args.run_dir}")
+    out("")
+    out(_record_table(records, args.metric))
     return 0
 
 
@@ -291,9 +517,8 @@ def _cmd_sweep(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         matrix = dataclasses.replace(
             matrix, base_config=matrix.base_config.with_overrides(seed=args.seed)
         )
-    metric_names = sorted(f.name for f in dataclasses.fields(ScenarioResult))
-    if args.metric not in metric_names:
-        out(f"unknown metric {args.metric!r}; choose from: {', '.join(metric_names)}")
+    if args.metric not in METRIC_NAMES:
+        out(f"unknown metric {args.metric!r}; choose from: {', '.join(METRIC_NAMES)}")
         return 2
     jobs = matrix.expand()
     out(
@@ -302,25 +527,26 @@ def _cmd_sweep(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         f"workers={args.workers}, seed_policy={matrix.seed_policy}"
     )
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    store = RunStore(args.run_dir) if args.run_dir else None
 
-    def progress(job, result, from_cache):
+    def progress(job, record, from_cache):
         if args.quiet:
             return
         source = "cache" if from_cache else "run"
         out(
-            f"  [{source:>5}] {job.key}: energy/item={result.energy_per_item_uj:.3f} uJ, "
-            f"delay={result.average_delay_ms:.2f} ms, delivered={result.delivery_ratio:.0%}"
+            f"  [{source:>5}] {job.key}: energy/item={record.energy_per_item_uj:.3f} uJ, "
+            f"delay={record.average_delay_ms:.2f} ms, delivered={record.delivery_ratio:.0%}"
         )
 
-    results, report = execute_jobs(
+    records, report = execute_jobs(
         jobs,
         workers=args.workers,
         cache=cache,
         resume=args.resume,
         progress=progress,
-        merge_metrics=True,
+        store=store,
     )
-    sweep = assemble_sweep(jobs, results)
+    sweep = assemble_sweep(jobs, records)
     out("")
     out(sweep.format_table(args.metric))
     out("")
@@ -328,11 +554,11 @@ def _cmd_sweep(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         f"{report.executed} simulated, {report.cache_hits} from cache, "
         f"{report.workers} worker(s), {report.elapsed_s:.2f} s wall-clock"
     )
-    merged = report.merged_metrics
+    merged = report.merged_summary
     if merged is not None and merged.items_generated:
         out(
             f"aggregate: {merged.items_generated} items, "
-            f"{merged.delay.deliveries_completed} deliveries, "
+            f"{merged.deliveries_completed} deliveries, "
             f"{merged.total_energy_uj:.1f} uJ total energy"
         )
     return 0
@@ -372,6 +598,8 @@ def main(argv: Optional[Sequence[str]] = None, out: Callable[[str], None] = prin
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args, out)
+    if args.command == "report":
+        return _cmd_report(args, out)
     if args.command == "list":
         return _cmd_list(args, out)
     if args.command == "compare":

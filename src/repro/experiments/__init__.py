@@ -22,7 +22,12 @@ from repro.experiments.config import (
     SimulationConfig,
     TABLE1_PARAMETERS,
 )
-from repro.experiments.executor import ExecutionReport, execute_jobs
+from repro.experiments.executor import (
+    ExecutionReport,
+    JobCompletion,
+    execute_jobs,
+    stream_jobs,
+)
 from repro.experiments.matrix import (
     ScenarioMatrix,
     SweepJob,
@@ -30,8 +35,15 @@ from repro.experiments.matrix import (
     get_matrix,
     register_matrix,
 )
-from repro.experiments.results import ResultCache, ScenarioResult, SweepResult
-from repro.experiments.runner import ExperimentRunner, run_scenario
+from repro.experiments.runner import ExperimentRunner, run_scenario, run_scenario_record
+from repro.results import (
+    MetricsSummary,
+    ResultCache,
+    RunRecord,
+    RunStore,
+    ScenarioResult,
+    SweepResult,
+)
 from repro.experiments.sandbox import Sandbox, build_sandbox, line_positions
 from repro.experiments.scenarios import (
     ScenarioSpec,
@@ -46,8 +58,12 @@ __all__ = [
     "ExecutionReport",
     "ExperimentRunner",
     "FailureConfig",
+    "JobCompletion",
+    "MetricsSummary",
     "MobilityConfig",
     "ResultCache",
+    "RunRecord",
+    "RunStore",
     "Sandbox",
     "ScenarioMatrix",
     "ScenarioResult",
@@ -68,7 +84,9 @@ __all__ = [
     "register_matrix",
     "run_matrix",
     "run_scenario",
+    "run_scenario_record",
     "single_pair_scenario",
+    "stream_jobs",
     "sweep_nodes",
     "sweep_radius",
 ]

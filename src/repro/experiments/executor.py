@@ -1,42 +1,50 @@
-"""Parallel execution of expanded sweep jobs.
+"""Parallel execution of expanded sweep jobs, streaming run records.
 
 The executor takes the flat job list produced by
 :meth:`repro.experiments.matrix.ScenarioMatrix.expand` and runs it either
 serially (``workers <= 1``; zero multiprocessing overhead) or across a
 ``multiprocessing`` pool.  Because every job is self-contained and carries its
 own derived seed, the two paths produce **identical** results — the
-determinism regression tests assert byte-equality of the serialised metrics.
+determinism regression tests assert byte-equality of the canonical record
+renderings.
 
-Results are keyed by the job's stable key (never by completion order), and an
-optional :class:`~repro.experiments.results.ResultCache` gives content-addressed
-persistence: with ``resume=True`` previously completed jobs are served from
-disk, so an interrupted sweep restarts where it stopped.
+Workers reduce their :class:`~repro.metrics.collector.MetricsCollector` to a
+compact :class:`~repro.metrics.summary.MetricsSummary` *in-process* and ship a
+single :class:`~repro.results.RunRecord` back per job, so the IPC payload is
+O(1) instead of O(deliveries) — ``benchmarks/test_ipc_payload.py`` pins the
+reduction.  :func:`stream_jobs` is the core generator, yielding a
+:class:`JobCompletion` the moment each job finishes (serial: in expansion
+order; parallel: completion order); :func:`execute_jobs` drains it into the
+keyed-dictionary form most callers want.
+
+Results are keyed by the job's stable key (never by completion order).  Two
+persistence hooks compose: an optional
+:class:`~repro.results.ResultCache` gives content-addressed resume
+(``resume=True`` serves previously completed jobs from disk), and an optional
+:class:`~repro.results.RunStore` receives every completed record append-only
+(the run directory ``repro run --spec-dir`` and ``repro report`` share).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.experiments.matrix import SweepJob
-from repro.experiments.results import (
-    ResultCache,
-    ScenarioResult,
-    SweepResult,
-    spec_fingerprint,
-)
-from repro.experiments.runner import ExperimentRunner, run_scenario
-from repro.metrics.collector import MetricsCollector
+from repro.experiments.runner import ExperimentRunner
+from repro.metrics.summary import MetricsSummary
+from repro.results import ResultCache, RunRecord, RunStore, SweepResult, spec_fingerprint
 
 #: Environment variable consulted for the default worker count (used by the
 #: figure generators and benchmarks so `REPRO_SWEEP_WORKERS=4 pytest
 #: benchmarks` parallelises every figure without code changes).
 WORKERS_ENV_VAR = "REPRO_SWEEP_WORKERS"
 
-ProgressCallback = Callable[[SweepJob, ScenarioResult, bool], None]
+ProgressCallback = Callable[[SweepJob, RunRecord, bool], None]
 
 
 def default_workers() -> int:
@@ -45,6 +53,21 @@ def default_workers() -> int:
         return max(1, int(os.environ.get(WORKERS_ENV_VAR, "1")))
     except ValueError:
         return 1
+
+
+@dataclass(frozen=True)
+class JobCompletion:
+    """One finished job, as yielded by :func:`stream_jobs`.
+
+    Attributes:
+        job: The job that completed.
+        record: Its canonical run record.
+        from_cache: Whether the record was served from the result cache.
+    """
+
+    job: SweepJob
+    record: RunRecord
+    from_cache: bool
 
 
 @dataclass
@@ -58,6 +81,10 @@ class ExecutionReport:
         workers: Worker processes used (1 = serial in-process).
         elapsed_s: Wall-clock duration of the whole execution.
         job_keys: Keys in expansion order (provenance).
+        merged_summary: Fold of every record's :class:`MetricsSummary`, in
+            expansion order (so serial and parallel executions aggregate
+            byte-identically).  Covers cache hits too — cached records carry
+            their summaries, unlike the collectors the old executor shipped.
     """
 
     total_jobs: int = 0
@@ -66,21 +93,17 @@ class ExecutionReport:
     workers: int = 1
     elapsed_s: float = 0.0
     job_keys: List[str] = field(default_factory=list)
-    merged_metrics: Optional[MetricsCollector] = None
+    merged_summary: Optional[MetricsSummary] = None
 
 
-def _run_job(job: SweepJob) -> Tuple[int, ScenarioResult]:
-    """Worker entry point: run one job (module-level, hence picklable)."""
-    return job.index, run_scenario(job.spec)
+def _run_job(job: SweepJob) -> Tuple[int, RunRecord]:
+    """Worker entry point: run one job (module-level, hence picklable).
 
-
-def _run_job_with_metrics(
-    job: SweepJob,
-) -> Tuple[int, ScenarioResult, MetricsCollector]:
-    """Worker entry point that also ships the shard's full metrics collector."""
+    The record — with the collector already reduced to its summary — is the
+    *only* payload that crosses the process boundary.
+    """
     runner = ExperimentRunner(job.spec)
-    result = runner.run()
-    return job.index, result, runner.metrics
+    return job.index, runner.run_record(key=job.key, axes=job.axes)
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -91,96 +114,143 @@ def _pool_context() -> multiprocessing.context.BaseContext:
         return multiprocessing.get_context("spawn")
 
 
+def stream_jobs(
+    jobs: Sequence[SweepJob],
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    resume: bool = False,
+    store: Optional[RunStore] = None,
+) -> Iterator[JobCompletion]:
+    """Run every job, yielding each completion as soon as it is available.
+
+    Cache hits are yielded first (they cost one disk read each); the
+    remaining jobs then stream back from the worker pool in completion
+    order, or in expansion order when running serially.
+
+    Args:
+        jobs: Expanded sweep jobs (any order; results are keyed, not ordered).
+        workers: Worker processes; ``<= 1`` runs serially in-process.
+        cache: Optional content-addressed record cache.  When given, executed
+            jobs are always written through to it.
+        resume: When true (and *cache* is given), jobs whose fingerprint is
+            already cached are not re-simulated.
+        store: Optional run store; *every* completed record (cache hits
+            included) is appended, so the run directory describes the full
+            requested set.
+    """
+    workers = max(1, int(workers))
+    pending: List[SweepJob] = []
+    fingerprints: Dict[int, str] = {}
+
+    def complete(job: SweepJob, record: RunRecord, from_cache: bool) -> JobCompletion:
+        if not from_cache and cache is not None:
+            cache.store(fingerprints[job.index], record, spec=job.spec)
+        if store is not None:
+            record = store.append(record)
+        return JobCompletion(job=job, record=record, from_cache=from_cache)
+
+    for job in jobs:
+        if cache is not None:
+            fingerprints[job.index] = spec_fingerprint(job.spec)
+            if resume:
+                hit = cache.load(fingerprints[job.index])
+                if hit is not None:
+                    # The fingerprint identifies the *spec*, not the job: two
+                    # matrices can share an entry (fig06 and fig06-placement's
+                    # placement=grid points do).  Re-stamp the requesting
+                    # job's identity so the served record's provenance — key
+                    # and grid axes — describes this sweep, not the one that
+                    # originally populated the cache.
+                    hit = dataclasses.replace(
+                        hit, key=job.key, axes=dict(job.axes)
+                    )
+                    yield complete(job, hit, True)
+                    continue
+        pending.append(job)
+
+    by_index = {job.index: job for job in pending}
+    if workers <= 1 or len(pending) <= 1:
+        for job in pending:
+            _index, record = _run_job(job)
+            yield complete(job, record, False)
+        return
+    context = _pool_context()
+    pool_size = min(workers, len(pending))
+    with context.Pool(processes=pool_size) as pool:
+        for index, record in pool.imap_unordered(_run_job, pending, chunksize=1):
+            yield complete(by_index[index], record, False)
+
+
 def execute_jobs(
     jobs: Sequence[SweepJob],
     workers: int = 1,
     cache: Optional[ResultCache] = None,
     resume: bool = False,
     progress: Optional[ProgressCallback] = None,
-    merge_metrics: bool = False,
-) -> Tuple[Dict[str, ScenarioResult], ExecutionReport]:
-    """Run every job and return ``(results_by_key, report)``.
+    store: Optional[RunStore] = None,
+) -> Tuple[Dict[str, RunRecord], ExecutionReport]:
+    """Run every job and return ``(records_by_key, report)``.
 
-    Args:
-        jobs: Expanded sweep jobs (any order; results are keyed, not ordered).
-        workers: Worker processes; ``<= 1`` runs serially in-process.
-        cache: Optional content-addressed result store.  When given, completed
-            jobs are always written through to it.
-        resume: When true (and *cache* is given), jobs whose fingerprint is
-            already cached are not re-simulated.
-        progress: Optional callback ``(job, result, from_cache)`` invoked as
-            each job completes (serial: in order; parallel: completion order).
-        merge_metrics: Ship every shard's :class:`MetricsCollector` back and
-            fold them (namespaced by job key) into ``report.merged_metrics``
-            for a sweep-wide energy/delay/traffic view.  Cache hits carry no
-            collector, so the merged view only covers executed jobs.
-
-    Returns:
-        A dict mapping job key to its :class:`ScenarioResult`, plus the
-        :class:`ExecutionReport`.
+    A convenience wrapper draining :func:`stream_jobs`; see there for the
+    argument semantics.  *progress* is invoked ``(job, record, from_cache)``
+    as each job completes (serial: in order; parallel: completion order).
     """
     started = time.perf_counter()
+    workers = max(1, int(workers))
     report = ExecutionReport(
-        total_jobs=len(jobs), workers=max(1, int(workers)), job_keys=[j.key for j in jobs]
+        total_jobs=len(jobs), workers=workers, job_keys=[j.key for j in jobs]
     )
-    if merge_metrics:
-        report.merged_metrics = MetricsCollector()
-    results: Dict[str, ScenarioResult] = {}
-
-    pending: List[SweepJob] = []
-    fingerprints: Dict[int, str] = {}
-    for job in jobs:
-        if cache is not None:
-            fingerprints[job.index] = spec_fingerprint(job.spec)
-        if cache is not None and resume:
-            hit = cache.load(fingerprints[job.index])
-            if hit is not None:
-                results[job.key] = hit
-                report.cache_hits += 1
-                if progress is not None:
-                    progress(job, hit, True)
-                continue
-        pending.append(job)
-
-    by_index = {job.index: job for job in pending}
-    run_one = _run_job_with_metrics if merge_metrics else _run_job
-
-    def complete(index: int, result: ScenarioResult, metrics=None) -> None:
-        job = by_index[index]
-        results[job.key] = result
-        report.executed += 1
-        if metrics is not None and report.merged_metrics is not None:
-            report.merged_metrics.merge(metrics, item_prefix=job.key + "/")
-        if cache is not None:
-            cache.store(fingerprints[index], result, spec=job.spec)
+    records: Dict[str, RunRecord] = {}
+    for completion in stream_jobs(
+        jobs, workers=workers, cache=cache, resume=resume, store=store
+    ):
+        records[completion.job.key] = completion.record
+        if completion.from_cache:
+            report.cache_hits += 1
+        else:
+            report.executed += 1
         if progress is not None:
-            progress(job, result, False)
-
-    if report.workers <= 1 or len(pending) <= 1:
-        for job in pending:
-            complete(*run_one(job))
-    else:
-        context = _pool_context()
-        pool_size = min(report.workers, len(pending))
-        with context.Pool(processes=pool_size) as pool:
-            for payload in pool.imap_unordered(run_one, pending, chunksize=1):
-                complete(*payload)
-
+            progress(completion.job, completion.record, completion.from_cache)
+    # Fold the aggregate view in expansion order — not completion order — so
+    # the merged floats are byte-identical between serial and parallel runs.
+    merged = MetricsSummary()
+    for job in jobs:
+        if job.key in records:
+            merged = merged.merge(records[job.key].summary)
+    report.merged_summary = merged
     report.elapsed_s = time.perf_counter() - started
-    return results, report
+    return records, report
+
+
+def series_label(job: SweepJob) -> str:
+    """The sweep-series name of a job: its protocol, plus secondary axes.
+
+    Single-axis matrices keep the historical bare-protocol labels; a matrix
+    with secondary axes (config or non-config) gets one series per
+    (protocol, secondary coordinates) combination, e.g.
+    ``"spms[placement=random]"``.
+    """
+    extras = {k: v for k, v in job.axes.items() if k != job.parameter}
+    if not extras:
+        return job.protocol
+    coords = ",".join(f"{axis}={value}" for axis, value in sorted(extras.items()))
+    return f"{job.protocol}[{coords}]"
 
 
 def assemble_sweep(
-    jobs: Sequence[SweepJob], results: Dict[str, ScenarioResult]
+    jobs: Sequence[SweepJob], records: Dict[str, RunRecord]
 ) -> SweepResult:
-    """Fold keyed job results into a :class:`SweepResult`.
+    """Fold keyed job records into a :class:`SweepResult`.
 
     Rows follow the expansion order of *jobs*, so serial and parallel
     executions (whose completion orders differ) assemble identical sweeps.
+    Jobs missing from *records* (skipped, failed upstream) are tolerated —
+    their cells simply stay empty.
     """
     if not jobs:
         return SweepResult(parameter="value")
     sweep = SweepResult(parameter=jobs[0].parameter)
     for job in jobs:
-        sweep.add(job.protocol, job.value, results[job.key])
+        if job.key in records:
+            sweep.add(series_label(job), job.value, records[job.key])
     return sweep

@@ -159,6 +159,28 @@ def fig06_random_matrix(scale: "FigureScale | None" = None) -> ScenarioMatrix:
     )
 
 
+@register_matrix("fig06-placement")
+def fig06_placement_matrix(scale: "FigureScale | None" = None) -> ScenarioMatrix:
+    """Figure 6's node sweep across placements, as one two-axis matrix.
+
+    Sweeps the grid and the uniform-random placements side by side via the
+    non-config ``placement`` axis — the assembled sweep has one series per
+    (protocol, placement) pair (``"spms[placement=random]"``, ...), so the
+    placement-robustness comparison lands in a single table instead of two
+    separate matrices.
+    """
+    scale = _scale_or_bench(scale)
+    return ScenarioMatrix(
+        name="fig06-placement",
+        axes={
+            "num_nodes": tuple(scale.node_counts),
+            "placement": ("grid", "random"),
+        },
+        base_config=scale.base_config(transmission_radius_m=20.0),
+        seed_policy="shared",
+    )
+
+
 @register_matrix("fig07")
 def fig07_matrix(scale: "FigureScale | None" = None) -> ScenarioMatrix:
     """Static all-to-all radius sweep (Figures 7 and 9 share these runs)."""
@@ -213,6 +235,29 @@ def fig12_mobility_matrix(scale: "FigureScale | None" = None) -> ScenarioMatrix:
             packets_per_node=scale.mobility_packets_per_node,
         ),
         mobility=MobilityConfig(),
+        seed_policy="shared",
+    )
+
+
+@register_matrix("fig12-waypoint")
+def fig12_waypoint_matrix(scale: "FigureScale | None" = None) -> ScenarioMatrix:
+    """Figure 12's radius sweep under random-waypoint (continuous) mobility.
+
+    Not a figure of the paper: a mobility-model companion to Figure 12 using
+    the registered ``waypoint`` component — nodes drift continuously between
+    epochs instead of teleporting in steps, exercising frequent topology
+    churn.  Runnable via ``repro sweep fig12-waypoint``.
+    """
+    scale = _scale_or_bench(scale)
+    return matrix_from_axes(
+        "fig12-waypoint",
+        "transmission_radius_m",
+        scale.radii_m,
+        base_config=scale.base_config(
+            num_nodes=scale.fixed_num_nodes,
+            packets_per_node=scale.mobility_packets_per_node,
+        ),
+        mobility=MobilityConfig(model="waypoint", num_epochs=2),
         seed_policy="shared",
     )
 

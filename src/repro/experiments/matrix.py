@@ -25,6 +25,7 @@ benchmarks all expand the same registered matrix.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -41,6 +42,25 @@ from repro.sim.rng import spawn_seed
 #: seed and the job key; "shared" gives every job the base configuration seed.
 SEED_POLICIES = ("spawn", "shared")
 
+#: Names of the swept `SimulationConfig` fields.
+_CONFIG_AXES = frozenset(f.name for f in dataclasses.fields(SimulationConfig))
+
+#: Spec-level component selectors sweepable as non-config axes.
+_SPEC_AXES = ("placement", "workload")
+
+#: Option dictionaries addressable by dotted axes, e.g.
+#: ``"workload_options.packets_per_member"``.
+_OPTION_AXES = ("workload_options", "placement_options", "protocol_options")
+
+
+def _format_axis_value(value) -> str:
+    """Stable textual form of an axis value for job keys."""
+    if isinstance(value, bool):
+        return str(value).lower()
+    if isinstance(value, (int, float)):
+        return f"{value:g}"
+    return str(value)
+
 
 @dataclass(frozen=True)
 class SweepJob:
@@ -52,18 +72,24 @@ class SweepJob:
             seed derivation, result addressing and progress reporting.
         matrix: Name of the matrix this job came from.
         parameter: The primary swept parameter.
-        value: This job's value of the primary parameter.
+        value: This job's value of the primary parameter (a number for
+            configuration axes, e.g. a placement name for non-config axes).
         protocol: Protocol under test.
         spec: The complete scenario specification (self-contained, picklable).
+        axes: This job's full grid coordinates — every axis (config or not),
+            in declaration order.  Recorded into the job's
+            :class:`~repro.results.RunRecord` for store queries and used to
+            label secondary-axis series in assembled sweeps.
     """
 
     index: int
     key: str
     matrix: str
     parameter: str
-    value: float
+    value: object
     protocol: str
     spec: ScenarioSpec
+    axes: Mapping[str, object] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -72,10 +98,15 @@ class ScenarioMatrix:
 
     Attributes:
         name: Registry/display name of the grid.
-        axes: Mapping of ``SimulationConfig`` field name to the swept values.
+        axes: Mapping of axis name to the swept values.  An axis may be a
+            ``SimulationConfig`` field (``"num_nodes"``), a spec-level
+            component selector (``"placement"``, ``"workload"``) or a dotted
+            option path (``"workload_options.packets_per_member"``) — any
+            coordinate the canonical spec payload expresses is sweepable.
             Multiple axes expand as a cartesian product; the first axis is the
             *primary* parameter used when assembling a
-            :class:`~repro.experiments.results.SweepResult`.
+            :class:`~repro.results.SweepResult` (secondary axes label the
+            series, e.g. ``"spms[placement=random]"``).
         protocols: Protocols compared at every grid point.
         base_config: Configuration shared by all jobs (axes override fields).
         workload: Name of a registered workload ("all_to_all", "cluster", or
@@ -93,7 +124,7 @@ class ScenarioMatrix:
     """
 
     name: str
-    axes: Mapping[str, Sequence[float]]
+    axes: Mapping[str, Sequence[object]]
     protocols: Sequence[str] = ("spms", "spin")
     base_config: SimulationConfig = field(default_factory=SimulationConfig)
     workload: str = "all_to_all"
@@ -117,6 +148,38 @@ class ScenarioMatrix:
         for axis, values in self.axes.items():
             if not list(values):
                 raise ValueError(f"axis {axis!r} has no values")
+            kind = self._axis_kind(axis)
+            if kind is None:
+                raise ValueError(
+                    f"unknown axis {axis!r}: not a SimulationConfig field, not one "
+                    f"of {_SPEC_AXES}, and not a dotted option path "
+                    f"(e.g. 'workload_options.packets_per_member')"
+                )
+            if kind != "config" and self.scenario_factory is not None:
+                raise ValueError(
+                    f"axis {axis!r} is a non-config axis, which a custom "
+                    "scenario_factory cannot receive; use the standard spec "
+                    "builder or fold the axis into the factory itself"
+                )
+
+    @staticmethod
+    def _axis_kind(axis: str) -> Optional[str]:
+        """Classify an axis: "config", "spec", "option" or ``None`` (unknown).
+
+        Non-config axes are possible because jobs are materialised from the
+        canonical serialized-spec payload: anything the payload expresses —
+        the placement/workload selectors and their option dictionaries — is
+        sweepable, not just ``SimulationConfig`` fields.
+        """
+        if axis in _CONFIG_AXES:
+            return "config"
+        if axis in _SPEC_AXES:
+            return "spec"
+        if "." in axis:
+            prefix, _, option = axis.partition(".")
+            if prefix in _OPTION_AXES and option:
+                return "option"
+        return None
 
     # ------------------------------------------------------------- expansion
 
@@ -125,7 +188,7 @@ class ScenarioMatrix:
         """The primary swept parameter (first axis)."""
         return next(iter(self.axes))
 
-    def grid_points(self) -> List[Dict[str, float]]:
+    def grid_points(self) -> List[Dict[str, object]]:
         """Cartesian product of the axes, in deterministic order."""
         names = list(self.axes)
         combos = itertools.product(*(list(self.axes[n]) for n in names))
@@ -143,15 +206,20 @@ class ScenarioMatrix:
         jobs: List[SweepJob] = []
         primary = self.parameter
         for point in self.grid_points():
+            config_overrides = {
+                axis: value
+                for axis, value in point.items()
+                if self._axis_kind(axis) == "config"
+            }
             for protocol in self.protocols:
                 index = len(jobs)
                 key = self._job_key(point, protocol)
-                config = self.base_config.with_overrides(**point)
+                config = self.base_config.with_overrides(**config_overrides)
                 if self.seed_policy == "spawn":
                     config = replace(
                         config, seed=spawn_seed(self.base_config.seed, key)
                     )
-                spec = self._build_spec(protocol, config, key)
+                spec = self._build_spec(protocol, config, key, point)
                 jobs.append(
                     SweepJob(
                         index=index,
@@ -161,32 +229,56 @@ class ScenarioMatrix:
                         value=point[primary],
                         protocol=protocol,
                         spec=spec,
+                        axes=dict(point),
                     )
                 )
         return jobs
 
-    def _job_key(self, point: Mapping[str, float], protocol: str) -> str:
-        coords = "/".join(f"{axis}={point[axis]:g}" for axis in self.axes)
+    def _job_key(self, point: Mapping[str, object], protocol: str) -> str:
+        coords = "/".join(
+            f"{axis}={_format_axis_value(point[axis])}" for axis in self.axes
+        )
         return f"{self.name}/{coords}/{protocol}"
 
     def _build_spec(
-        self, protocol: str, config: SimulationConfig, name: str
+        self,
+        protocol: str,
+        config: SimulationConfig,
+        name: str,
+        point: Optional[Mapping[str, object]] = None,
     ) -> ScenarioSpec:
         if self.scenario_factory is not None:
             return self.scenario_factory(protocol, config, name)
+        point = point or {}
         # Jobs are materialised from the canonical serialized-spec payload —
         # the same dictionary layout `repro run --spec` consumes and the
         # result cache hashes — so any registered workload/placement plugin
-        # is sweepable and the payload is validated on the way in.
+        # is sweepable and the payload is validated on the way in.  Spec-level
+        # axes override the matrix-wide selectors; dotted option axes merge
+        # into the corresponding options dictionary.
+        selectors = {"workload": self.workload, "placement": self.placement}
+        options = {
+            "workload_options": dict(self.workload_options),
+            "placement_options": dict(self.placement_options),
+            "protocol_options": {},
+        }
+        for axis, value in point.items():
+            kind = self._axis_kind(axis)
+            if kind == "spec":
+                selectors[axis] = value
+            elif kind == "option":
+                prefix, _, option = axis.partition(".")
+                options[prefix][option] = value
         payload = {
             SCHEMA_KEY: SPEC_SCHEMA_VERSION,
-            "name": f"{self.workload.replace('_', '-')}/{protocol}",
+            "name": f"{selectors['workload'].replace('_', '-')}/{protocol}",
             "protocol": protocol,
             "config": config.to_dict(),
-            "workload": self.workload,
-            "workload_options": dict(self.workload_options),
-            "placement": self.placement,
-            "placement_options": dict(self.placement_options),
+            "workload": selectors["workload"],
+            "workload_options": options["workload_options"],
+            "placement": selectors["placement"],
+            "placement_options": options["placement_options"],
+            "protocol_options": options["protocol_options"],
             "failures": self.failures.to_dict() if self.failures is not None else None,
             "mobility": self.mobility.to_dict() if self.mobility is not None else None,
         }

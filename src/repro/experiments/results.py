@@ -1,263 +1,45 @@
-"""Result containers, serialisation and the content-addressed result cache.
+"""Deprecated shim — the results API moved to :mod:`repro.results`.
 
-Every scenario run is summarised by a :class:`ScenarioResult`; a sweep collects
-them into a :class:`SweepResult`.  Both round-trip through plain dictionaries
-(and therefore JSON), which is what the parallel executor sends between worker
-processes and what :class:`ResultCache` persists on disk.
+This module re-exports the unified results API so historical imports
+(``from repro.experiments.results import ScenarioResult, ResultCache, ...``)
+keep working.  New code should import from :mod:`repro.results` directly:
 
-The cache is *content addressed*: the key of a run is the SHA-256 of a
-canonical JSON rendering of its full :class:`~repro.experiments.scenarios.ScenarioSpec`
-(protocol, workload, every configuration field, failure/mobility parameters and
-the derived seed).  Two jobs with identical specs share a cache entry; any
-parameter change — including the seed — yields a different key, so ``--resume``
-can never serve stale results for a modified grid.
+* :class:`repro.results.RunRecord` — the canonical, schema-versioned record
+  of one run (spec fingerprint, seed, grid axes, compact metrics summary).
+* :class:`repro.results.RunStore` — sharded-JSONL run directories.
+* :class:`repro.results.ResultCache` — the content-addressed resume cache.
+* :class:`repro.results.ScenarioResult` / :class:`repro.results.SweepResult`
+  — the thin flat/tabular views this module used to define.
 """
 
-from __future__ import annotations
+from repro.results import (  # noqa: F401  (re-exports)
+    CACHE_SCHEMA_VERSION,
+    DistributionSummary,
+    MetricsSummary,
+    RECORD_SCHEMA_KEY,
+    RESULTS_SCHEMA_VERSION,
+    RecordValidationError,
+    ResultCache,
+    RunRecord,
+    RunStore,
+    RunStoreError,
+    ScenarioResult,
+    SweepResult,
+    spec_fingerprint,
+)
 
-import dataclasses
-import hashlib
-import json
-from dataclasses import dataclass, field
-from pathlib import Path
-from typing import Dict, List, Optional
-
-
-@dataclass(frozen=True)
-class ScenarioResult:
-    """Outcome of one simulation run.
-
-    Attributes:
-        protocol: Protocol name ("spms", "spin", ...).
-        scenario: Scenario name (for provenance in reports).
-        num_nodes: Number of nodes simulated.
-        transmission_radius_m: Maximum transmission radius used.
-        items_generated: Data items originated by the workload.
-        expected_deliveries: Number of (item, destination) pairs the workload
-            expected to complete.
-        deliveries_completed: How many of those completed.
-        total_energy_uj: Network-wide energy (microjoules).
-        energy_per_item_uj: Total energy / items generated — the paper's
-            energy metric.
-        average_delay_ms: Mean end-to-end delay over completed deliveries.
-        delivery_ratio: Completed / expected deliveries.
-        energy_breakdown_uj: Energy per category (tx / rx / routing).
-        packets_sent: Transmissions per packet type.
-        packets_dropped: Drops per reason.
-        routing_rebuilds: How many times the routing tables were (re)built.
-        routing_energy_uj: Energy charged to route formation/maintenance.
-        sim_time_ms: Simulated time when the run finished.
-        failures_injected: Number of transient failures injected.
-    """
-
-    protocol: str
-    scenario: str
-    num_nodes: int
-    transmission_radius_m: float
-    items_generated: int
-    expected_deliveries: int
-    deliveries_completed: int
-    total_energy_uj: float
-    energy_per_item_uj: float
-    average_delay_ms: float
-    delivery_ratio: float
-    energy_breakdown_uj: Dict[str, float] = field(default_factory=dict)
-    packets_sent: Dict[str, int] = field(default_factory=dict)
-    packets_dropped: Dict[str, int] = field(default_factory=dict)
-    routing_rebuilds: int = 0
-    routing_energy_uj: float = 0.0
-    sim_time_ms: float = 0.0
-    failures_injected: int = 0
-
-    def as_dict(self) -> Dict[str, object]:
-        """Flat dictionary representation (used by reports and benchmarks)."""
-        return {
-            "protocol": self.protocol,
-            "scenario": self.scenario,
-            "num_nodes": self.num_nodes,
-            "transmission_radius_m": self.transmission_radius_m,
-            "items_generated": self.items_generated,
-            "expected_deliveries": self.expected_deliveries,
-            "deliveries_completed": self.deliveries_completed,
-            "total_energy_uj": self.total_energy_uj,
-            "energy_per_item_uj": self.energy_per_item_uj,
-            "average_delay_ms": self.average_delay_ms,
-            "delivery_ratio": self.delivery_ratio,
-            "routing_rebuilds": self.routing_rebuilds,
-            "routing_energy_uj": self.routing_energy_uj,
-            "sim_time_ms": self.sim_time_ms,
-            "failures_injected": self.failures_injected,
-        }
-
-    def to_dict(self) -> Dict[str, object]:
-        """Complete, loss-free dictionary representation (JSON-safe)."""
-        return dataclasses.asdict(self)
-
-    @classmethod
-    def from_dict(cls, data: Dict[str, object]) -> "ScenarioResult":
-        """Rebuild a result from :meth:`to_dict` output."""
-        known = {f.name for f in dataclasses.fields(cls)}
-        return cls(**{k: v for k, v in data.items() if k in known})
-
-    def to_json(self) -> str:
-        """Canonical JSON rendering (stable key order, byte-reproducible)."""
-        return json.dumps(self.to_dict(), sort_keys=True)
-
-    @classmethod
-    def from_json(cls, text: str) -> "ScenarioResult":
-        """Inverse of :meth:`to_json`."""
-        return cls.from_dict(json.loads(text))
-
-
-@dataclass
-class SweepResult:
-    """Results of sweeping one parameter for several protocols.
-
-    Attributes:
-        parameter: Name of the swept parameter (e.g. ``"num_nodes"``).
-        values: The swept values, in order.
-        results: ``results[protocol][i]`` is the run at ``values[i]``.
-    """
-
-    parameter: str
-    values: List[float] = field(default_factory=list)
-    results: Dict[str, List[ScenarioResult]] = field(default_factory=dict)
-
-    def add(self, protocol: str, value: float, result: ScenarioResult) -> None:
-        """Record one run."""
-        if value not in self.values:
-            self.values.append(value)
-        self.results.setdefault(protocol, []).append(result)
-
-    def series(self, protocol: str, metric: str) -> List[float]:
-        """Extract one metric across the sweep for one protocol."""
-        return [getattr(r, metric) for r in self.results.get(protocol, [])]
-
-    def rows(self, metric: str) -> List[Dict[str, object]]:
-        """Tabular view: one row per swept value, one column per protocol."""
-        rows = []
-        for index, value in enumerate(self.values):
-            row: Dict[str, object] = {self.parameter: value}
-            for protocol, results in self.results.items():
-                if index < len(results):
-                    row[protocol] = getattr(results[index], metric)
-            rows.append(row)
-        return rows
-
-    def to_dict(self) -> Dict[str, object]:
-        """JSON-safe dictionary representation of the whole sweep."""
-        return {
-            "parameter": self.parameter,
-            "values": list(self.values),
-            "results": {
-                protocol: [r.to_dict() for r in results]
-                for protocol, results in self.results.items()
-            },
-        }
-
-    @classmethod
-    def from_dict(cls, data: Dict[str, object]) -> "SweepResult":
-        """Rebuild a sweep from :meth:`to_dict` output."""
-        sweep = cls(parameter=data["parameter"], values=list(data["values"]))
-        for protocol, results in data["results"].items():
-            sweep.results[protocol] = [ScenarioResult.from_dict(r) for r in results]
-        return sweep
-
-    def format_table(self, metric: str, precision: int = 3) -> str:
-        """Readable fixed-width table for benchmark output."""
-        protocols = sorted(self.results)
-        header = f"{self.parameter:>20} " + " ".join(f"{p:>14}" for p in protocols)
-        lines = [header, "-" * len(header)]
-        for row in self.rows(metric):
-            cells = [f"{row[self.parameter]:>20}"]
-            for protocol in protocols:
-                value = row.get(protocol)
-                cells.append(
-                    f"{value:>14.{precision}f}" if isinstance(value, (int, float)) else f"{'-':>14}"
-                )
-            lines.append(" ".join(cells))
-        return "\n".join(lines)
-
-
-# ------------------------------------------------------------- result cache
-
-#: Bumped whenever the simulation semantics or the serialized spec layout
-#: change in a way that invalidates previously cached results (part of every
-#: cache key).  Version history:
-#:
-#: * 1 — ``dataclasses.asdict`` rendering of the spec.
-#: * 2 — canonical :meth:`ScenarioSpec.to_dict` rendering (the spec gained
-#:   ``placement``/``placement_options``, the configs gained ``model``/
-#:   ``contention`` component selectors).  This was a deliberate one-shot
-#:   invalidation of every v1 cache entry: old entries are simply never
-#:   matched again and can be deleted at leisure.
-CACHE_SCHEMA_VERSION = 2
-
-
-def spec_fingerprint(spec) -> str:
-    """Content hash (hex SHA-256) identifying a scenario spec.
-
-    The fingerprint is the canonical serialized form of the spec
-    (:meth:`ScenarioSpec.to_dict` — protocol, workload/placement and their
-    options, the full :class:`SimulationConfig` including the seed, and the
-    failure/mobility parameters) rendered as canonical JSON — the same
-    dictionary layout ``repro run --spec`` consumes.  Values that are not
-    JSON-native (e.g. custom workload objects) fall back to ``repr``, which
-    keeps the key deterministic as long as the object's repr is.
-    """
-    payload = spec.to_dict() if hasattr(spec, "to_dict") else dataclasses.asdict(spec)
-    description = {
-        "schema": CACHE_SCHEMA_VERSION,
-        "spec": payload,
-    }
-    text = json.dumps(description, sort_keys=True, default=repr)
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
-
-
-class ResultCache:
-    """Content-addressed, on-disk store of :class:`ScenarioResult` objects.
-
-    Layout: ``<root>/<key[:2]>/<key>.json`` where *key* is
-    :func:`spec_fingerprint` of the run's spec.  Each file holds the result
-    dictionary plus a human-readable summary of the spec for debuggability.
-    Writes are atomic (temp file + rename) so a crashed or killed sweep never
-    leaves a truncated entry behind — ``--resume`` can trust whatever it finds.
-    """
-
-    def __init__(self, root: "str | Path") -> None:
-        self.root = Path(root)
-
-    def path_for(self, key: str) -> Path:
-        """Where the entry for *key* lives (whether or not it exists)."""
-        return self.root / key[:2] / f"{key}.json"
-
-    def load(self, key: str) -> Optional[ScenarioResult]:
-        """The cached result for *key*, or ``None`` on miss/corruption."""
-        path = self.path_for(key)
-        try:
-            payload = json.loads(path.read_text())
-            return ScenarioResult.from_dict(payload["result"])
-        except (OSError, ValueError, KeyError, TypeError):
-            return None
-
-    def store(self, key: str, result: ScenarioResult, spec=None) -> Path:
-        """Persist *result* under *key*; returns the entry path."""
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload: Dict[str, object] = {"key": key, "result": result.to_dict()}
-        if spec is not None:
-            payload["spec"] = (
-                spec.to_dict() if hasattr(spec, "to_dict") else dataclasses.asdict(spec)
-            )
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload, sort_keys=True, default=repr, indent=1))
-        tmp.replace(path)
-        return path
-
-    def __contains__(self, key: str) -> bool:
-        return self.path_for(key).is_file()
-
-    def __len__(self) -> int:
-        if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "DistributionSummary",
+    "MetricsSummary",
+    "RECORD_SCHEMA_KEY",
+    "RESULTS_SCHEMA_VERSION",
+    "RecordValidationError",
+    "ResultCache",
+    "RunRecord",
+    "RunStore",
+    "RunStoreError",
+    "ScenarioResult",
+    "SweepResult",
+    "spec_fingerprint",
+]

@@ -21,15 +21,16 @@ over again".
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+import time
+from typing import Dict, List, Mapping, Optional
 
 from repro.build.builder import SimulationBuilder
 from repro.build.registry import ComponentRegistry
 from repro.core.network import Network
 from repro.core.node_base import ProtocolNode
 from repro.experiments.config import SimulationConfig
-from repro.experiments.results import ScenarioResult
 from repro.experiments.scenarios import ScenarioSpec
+from repro.results import RunRecord, ScenarioResult, spec_fingerprint
 from repro.faults.injector import FailureInjector
 from repro.metrics.collector import MetricsCollector
 from repro.routing.manager import RoutingManager
@@ -88,7 +89,27 @@ class ExperimentRunner:
     # ---------------------------------------------------------------------- run
 
     def run(self) -> ScenarioResult:
-        """Execute the scenario and return its result."""
+        """Execute the scenario and return its flat result view.
+
+        Kept for the historical single-run API; the canonical product is
+        :meth:`run_record`, of which this returns the
+        :class:`~repro.results.ScenarioResult` flattening.
+        """
+        return ScenarioResult.from_record(self.run_record())
+
+    def run_record(
+        self,
+        key: Optional[str] = None,
+        axes: Optional[Mapping[str, object]] = None,
+    ) -> RunRecord:
+        """Execute the scenario and return its canonical :class:`RunRecord`.
+
+        Args:
+            key: Stable run identity for the record (sweep job key, batch
+                name); defaults to the scenario name.
+            axes: Grid coordinates of the run when it came from a matrix.
+        """
+        started = time.perf_counter()
         self.build()
         assert self.sim is not None and self.metrics is not None
         if self.spec.mobility is not None:
@@ -97,7 +118,7 @@ class ExperimentRunner:
             self._schedule_burst(self.schedule)
             self._start_failures(self._schedule_horizon(self.schedule))
             self.sim.run(until=self.config.max_sim_time_ms)
-        return self._collect()
+        return self._collect(key, axes, wall_time_s=time.perf_counter() - started)
 
     # ----------------------------------------------------------- traffic bursts
 
@@ -167,32 +188,61 @@ class ExperimentRunner:
 
     # ------------------------------------------------------------------ results
 
-    def _collect(self) -> ScenarioResult:
+    def _collect(
+        self,
+        key: Optional[str],
+        axes: Optional[Mapping[str, object]],
+        wall_time_s: float,
+    ) -> RunRecord:
         assert self.metrics is not None and self.sim is not None
         metrics = self.metrics
         routing_rebuilds = self.routing.rebuilds if self.routing is not None else 0
-        return ScenarioResult(
+        return RunRecord(
+            key=key if key is not None else self.spec.name,
             protocol=self.protocol,
             scenario=self.spec.name,
+            spec_fingerprint=spec_fingerprint(self.spec),
+            seed=self.config.seed,
             num_nodes=self.config.num_nodes,
             transmission_radius_m=self.config.transmission_radius_m,
-            items_generated=metrics.items_generated,
-            expected_deliveries=metrics.expected_delivery_count,
-            deliveries_completed=metrics.delay.deliveries_completed,
-            total_energy_uj=metrics.total_energy_uj,
-            energy_per_item_uj=metrics.energy_per_item_uj,
-            average_delay_ms=metrics.average_delay_ms,
-            delivery_ratio=metrics.delivery_ratio,
-            energy_breakdown_uj=metrics.energy_breakdown(),
-            packets_sent=dict(metrics.packets_sent),
-            packets_dropped=dict(metrics.packets_dropped),
+            summary=metrics.summarize(),
+            axes=dict(axes) if axes else {},
             routing_rebuilds=routing_rebuilds,
             routing_energy_uj=metrics.energy.category_total("routing"),
             sim_time_ms=self.sim.now,
             failures_injected=self.injector.failures_injected if self.injector else 0,
+            wall_time_s=wall_time_s,
         )
+
+    def raw_metrics(self) -> Dict[str, object]:
+        """Raw per-run metrics for an optional :class:`RunStore` blob.
+
+        Everything a :class:`~repro.results.RunRecord` deliberately drops:
+        the individual per-delivery delays, the per-node energy totals and
+        the reception counters.  Callers pass this to
+        :meth:`repro.results.RunStore.append` when the run directory should
+        keep the full detail for later lazy inspection.
+        """
+        assert self.metrics is not None
+        return {
+            "delays_ms": self.metrics.delay.all_delays(),
+            "energy_per_node_uj": {
+                str(node): value
+                for node, value in sorted(self.metrics.energy.per_node.items())
+            },
+            "traffic": self.metrics.traffic_summary(),
+        }
 
 
 def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
-    """Convenience wrapper: build, run and return the result of *spec*."""
+    """Convenience wrapper: build, run and return the flat result of *spec*."""
     return ExperimentRunner(spec).run()
+
+
+def run_scenario_record(
+    spec: ScenarioSpec,
+    key: Optional[str] = None,
+    axes: Optional[Mapping[str, object]] = None,
+) -> RunRecord:
+    """Build, run and return the canonical :class:`RunRecord` of *spec*."""
+    return ExperimentRunner(spec).run_record(key=key, axes=axes)

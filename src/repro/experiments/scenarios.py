@@ -28,8 +28,14 @@ from repro.experiments.config import (
 
 #: Version of the serialized spec schema.  Bumped whenever the dictionary
 #: layout changes incompatibly; :meth:`ScenarioSpec.from_dict` rejects specs
-#: written under a different version.
-SPEC_SCHEMA_VERSION = 1
+#: written under a different version.  Version history:
+#:
+#: * 1 — first canonical layout (PR 2).
+#: * 2 — the spec gained free-form ``labels`` (fleet/report provenance);
+#:   bumped together with ``CACHE_SCHEMA_VERSION`` 2→3 per the ROADMAP's
+#:   serialized-layout policy.  v1 spec files need ``"schema_version": 2``
+#:   and (optionally) a ``"labels": {}`` entry.
+SPEC_SCHEMA_VERSION = 2
 
 #: Key carrying the schema version in serialized specs.
 SCHEMA_KEY = "schema_version"
@@ -55,6 +61,11 @@ class ScenarioSpec:
         placement_options: Extra keyword arguments for the placement factory.
         failures: Transient-failure injection parameters, or ``None``.
         mobility: Step-mobility parameters, or ``None``.
+        labels: Free-form, JSON-native provenance metadata (e.g. a fleet
+            name, a ticket id, experiment tags).  Labels do not influence the
+            simulation, but they are part of the canonical serialization —
+            and therefore of the cache fingerprint — and are queryable
+            through :meth:`repro.results.RunStore.query`.
         charge_initial_routing: Charge the energy of the very first routing
             table construction to SPMS (the paper only charges re-executions
             caused by mobility, so the default is False).
@@ -73,6 +84,7 @@ class ScenarioSpec:
     placement_options: Dict[str, object] = field(default_factory=dict)
     failures: Optional[FailureConfig] = None
     mobility: Optional[MobilityConfig] = None
+    labels: Dict[str, object] = field(default_factory=dict)
     charge_initial_routing: bool = False
     settle_margin_ms: float = 50.0
     trace: bool = False
@@ -98,6 +110,7 @@ class ScenarioSpec:
             "placement_options": dict(self.placement_options),
             "failures": self.failures.to_dict() if self.failures is not None else None,
             "mobility": self.mobility.to_dict() if self.mobility is not None else None,
+            "labels": dict(self.labels),
             "charge_initial_routing": self.charge_initial_routing,
             "settle_margin_ms": self.settle_margin_ms,
             "trace": self.trace,
@@ -133,7 +146,12 @@ class ScenarioSpec:
             payload["failures"] = FailureConfig.from_dict(payload["failures"])
         if payload.get("mobility") is not None:
             payload["mobility"] = MobilityConfig.from_dict(payload["mobility"])
-        for options_key in ("workload_options", "protocol_options", "placement_options"):
+        for options_key in (
+            "workload_options",
+            "protocol_options",
+            "placement_options",
+            "labels",
+        ):
             if options_key in payload:
                 options = payload[options_key]
                 if not isinstance(options, Mapping):

@@ -20,8 +20,8 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 from repro.experiments.config import FailureConfig, MobilityConfig, SimulationConfig
 from repro.experiments.executor import ExecutionReport, assemble_sweep, execute_jobs
 from repro.experiments.matrix import ScenarioMatrix, matrix_from_axes
-from repro.experiments.results import ResultCache, SweepResult
 from repro.experiments.scenarios import ScenarioSpec, all_to_all_scenario, cluster_scenario
+from repro.results import ResultCache, RunStore, SweepResult
 
 ScenarioFactory = Callable[[str, SimulationConfig], ScenarioSpec]
 
@@ -32,17 +32,20 @@ def run_matrix(
     cache: Optional[ResultCache] = None,
     resume: bool = False,
     progress=None,
+    store: Optional[RunStore] = None,
 ) -> Tuple[SweepResult, ExecutionReport]:
     """Expand *matrix*, execute every job and assemble the sweep.
 
     Returns ``(sweep, report)``; the sweep's rows follow the matrix expansion
-    order regardless of the order in which workers finished.
+    order regardless of the order in which workers finished.  When *store*
+    is given, every completed record is appended to the run directory.
     """
     jobs = matrix.expand()
-    results, report = execute_jobs(
-        jobs, workers=workers, cache=cache, resume=resume, progress=progress
+    records, report = execute_jobs(
+        jobs, workers=workers, cache=cache, resume=resume, progress=progress,
+        store=store,
     )
-    return assemble_sweep(jobs, results), report
+    return assemble_sweep(jobs, records), report
 
 
 class _LegacyFactoryAdapter:

@@ -13,6 +13,12 @@ the experiments cannot be skewed by accounting differences:
 
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.delay import DelayTracker
-from repro.metrics.summary import DistributionSummary, summarize
+from repro.metrics.summary import DistributionSummary, MetricsSummary, summarize
 
-__all__ = ["DelayTracker", "DistributionSummary", "MetricsCollector", "summarize"]
+__all__ = [
+    "DelayTracker",
+    "DistributionSummary",
+    "MetricsCollector",
+    "MetricsSummary",
+    "summarize",
+]

@@ -6,7 +6,7 @@ from collections import Counter, defaultdict
 from typing import Dict, List, Optional, Tuple
 
 from repro.metrics.delay import DelayTracker
-from repro.metrics.summary import DistributionSummary, summarize
+from repro.metrics.summary import DistributionSummary, MetricsSummary, summarize
 from repro.radio.energy import EnergyLedger
 
 
@@ -99,6 +99,14 @@ class MetricsCollector:
     def delay_summary(self) -> DistributionSummary:
         """Distribution of per-delivery delays."""
         return self.delay.summary()
+
+    def summarize(self) -> MetricsSummary:
+        """Reduce this collector to its compact, mergeable summary.
+
+        Workers call this in-process so only the O(1) summary — not the
+        O(deliveries) collector — crosses the IPC boundary.
+        """
+        return MetricsSummary.from_collector(self)
 
     @property
     def expected_delivery_count(self) -> int:

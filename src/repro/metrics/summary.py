@@ -1,10 +1,31 @@
-"""Small statistics helpers shared by the metric collectors and benchmarks."""
+"""Statistics helpers and the compact per-run metrics summary.
+
+:class:`DistributionSummary` condenses a sample into its headline statistics;
+:class:`MetricsSummary` condenses a whole
+:class:`~repro.metrics.collector.MetricsCollector` into the counters the
+results layer needs.  Both are small, frozen, JSON-round-trippable and —
+crucially for the parallel executor — *mergeable*: worker processes reduce
+their collector to a summary in-process and ship only the summary over IPC,
+so the per-job payload is O(1) instead of O(deliveries).
+"""
 
 from __future__ import annotations
 
+import dataclasses
 import math
-from dataclasses import dataclass
-from typing import Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Mapping, Sequence
+
+
+def _strict_fields(cls, data: Mapping[str, Any], what: str) -> Dict[str, Any]:
+    """Validate *data* against the dataclass fields of *cls* (typo protection)."""
+    if not isinstance(data, Mapping):
+        raise ValueError(f"{what} must be a mapping, got {type(data).__name__}")
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(f"unknown {what} keys {unknown}; known keys: {sorted(known)}")
+    return dict(data)
 
 
 @dataclass(frozen=True)
@@ -26,6 +47,51 @@ class DistributionSummary:
     maximum: float
     stddev: float
     median: float
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dictionary representation."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DistributionSummary":
+        """Inverse of :meth:`to_dict`; rejects unknown keys."""
+        return cls(**_strict_fields(cls, data, "distribution summary"))
+
+    @classmethod
+    def empty(cls) -> "DistributionSummary":
+        """The summary of an empty sample."""
+        return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def merge(self, other: "DistributionSummary") -> "DistributionSummary":
+        """Summary of the union of the two underlying samples.
+
+        Count, minimum and maximum are exact.  Mean and standard deviation
+        are combined through the count-weighted moments, which agrees with
+        summarising the concatenated sample up to floating-point rounding.
+        The *median* of a union is not recoverable from two summaries, so the
+        merged median is the count-weighted mean of the two medians — an
+        explicit approximation, adequate for the sweep-wide aggregate view
+        (per-run records keep their exact medians).
+        """
+        if self.count == 0:
+            return other
+        if other.count == 0:
+            return self
+        count = self.count + other.count
+        mean = (self.mean * self.count + other.mean * other.count) / count
+        second_moment = (
+            self.count * (self.stddev**2 + self.mean**2)
+            + other.count * (other.stddev**2 + other.mean**2)
+        ) / count
+        variance = max(0.0, second_moment - mean**2)
+        return DistributionSummary(
+            count=count,
+            mean=mean,
+            minimum=min(self.minimum, other.minimum),
+            maximum=max(self.maximum, other.maximum),
+            stddev=math.sqrt(variance),
+            median=(self.median * self.count + other.median * other.count) / count,
+        )
 
 
 def percentile(sorted_values: Sequence[float], q: float) -> float:
@@ -66,3 +132,133 @@ def summarize(values: Iterable[float]) -> DistributionSummary:
         stddev=math.sqrt(variance),
         median=percentile(data, 50.0),
     )
+
+
+# ---------------------------------------------------------- metrics summary
+
+
+def _merge_number_maps(a: Mapping[str, float], b: Mapping[str, float]) -> Dict[str, float]:
+    merged = dict(a)
+    for key, value in b.items():
+        merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+@dataclass(frozen=True)
+class MetricsSummary:
+    """Compact, mergeable reduction of one run's :class:`MetricsCollector`.
+
+    This is the payload the parallel executor ships between processes and the
+    metrics half of every :class:`~repro.results.RunRecord`: traffic counters,
+    the energy breakdown, delivery bookkeeping and the delay distribution —
+    everything the reports need, nothing proportional to the traffic volume.
+
+    Attributes:
+        items_generated: Data items originated by the workload.
+        expected_deliveries: (item, destination) pairs the workload expected.
+        deliveries_completed: How many of those completed.
+        total_energy_uj: Network-wide energy (microjoules).
+        energy_breakdown_uj: Energy per ledger category (tx / rx / routing).
+        packets_sent: Transmissions per packet type.
+        packets_received: Receptions per packet type.
+        packets_dropped: Drops per reason.
+        delay: Distribution of per-delivery end-to-end delays (ms).
+    """
+
+    items_generated: int = 0
+    expected_deliveries: int = 0
+    deliveries_completed: int = 0
+    total_energy_uj: float = 0.0
+    energy_breakdown_uj: Dict[str, float] = field(default_factory=dict)
+    packets_sent: Dict[str, int] = field(default_factory=dict)
+    packets_received: Dict[str, int] = field(default_factory=dict)
+    packets_dropped: Dict[str, int] = field(default_factory=dict)
+    delay: DistributionSummary = field(default_factory=DistributionSummary.empty)
+
+    # ------------------------------------------------------- derived metrics
+
+    @property
+    def energy_per_item_uj(self) -> float:
+        """Total energy / items generated — the paper's energy metric."""
+        if self.items_generated == 0:
+            return 0.0
+        return self.total_energy_uj / self.items_generated
+
+    @property
+    def average_delay_ms(self) -> float:
+        """Mean end-to-end delay over completed deliveries."""
+        return self.delay.mean
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Completed / expected deliveries (1.0 when nothing was expected)."""
+        if self.expected_deliveries == 0:
+            return 1.0
+        return self.deliveries_completed / self.expected_deliveries
+
+    # ---------------------------------------------------------- construction
+
+    @classmethod
+    def from_collector(cls, collector) -> "MetricsSummary":
+        """Reduce a :class:`~repro.metrics.collector.MetricsCollector`.
+
+        This is the in-process reduction workers perform before shipping
+        results over IPC — the summary is exact for every field (the delay
+        distribution is computed from the raw per-delivery delays).
+        """
+        return cls(
+            items_generated=collector.items_generated,
+            expected_deliveries=collector.expected_delivery_count,
+            deliveries_completed=collector.delay.deliveries_completed,
+            total_energy_uj=collector.total_energy_uj,
+            energy_breakdown_uj=collector.energy_breakdown(),
+            packets_sent=dict(collector.packets_sent),
+            packets_received=dict(collector.packets_received),
+            packets_dropped=dict(collector.packets_dropped),
+            delay=collector.delay_summary(),
+        )
+
+    # --------------------------------------------------------------- merging
+
+    def merge(self, other: "MetricsSummary") -> "MetricsSummary":
+        """Fold another run's summary into a combined view (returns a new one).
+
+        Replaces collector-level merging on the executor's hot path: counters,
+        energy and delivery counts combine exactly as
+        :meth:`MetricsCollector.merge` would; the delay distribution combines
+        through :meth:`DistributionSummary.merge` (exact count/min/max,
+        moment-combined mean/stddev, approximated median).
+        """
+        return MetricsSummary(
+            items_generated=self.items_generated + other.items_generated,
+            expected_deliveries=self.expected_deliveries + other.expected_deliveries,
+            deliveries_completed=self.deliveries_completed + other.deliveries_completed,
+            total_energy_uj=self.total_energy_uj + other.total_energy_uj,
+            energy_breakdown_uj=_merge_number_maps(
+                self.energy_breakdown_uj, other.energy_breakdown_uj
+            ),
+            packets_sent=_merge_number_maps(self.packets_sent, other.packets_sent),
+            packets_received=_merge_number_maps(
+                self.packets_received, other.packets_received
+            ),
+            packets_dropped=_merge_number_maps(
+                self.packets_dropped, other.packets_dropped
+            ),
+            delay=self.delay.merge(other.delay),
+        )
+
+    # -------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dictionary representation (nested delay summary)."""
+        data = dataclasses.asdict(self)
+        data["delay"] = self.delay.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MetricsSummary":
+        """Inverse of :meth:`to_dict`; rejects unknown keys at both levels."""
+        payload = _strict_fields(cls, data, "metrics summary")
+        if "delay" in payload:
+            payload["delay"] = DistributionSummary.from_dict(payload["delay"])
+        return cls(**payload)

@@ -1,0 +1,47 @@
+"""The unified results API.
+
+Everything a run produces flows through one canonical, schema-versioned type:
+
+* :class:`RunRecord` — one run's outcome: provenance (key, spec fingerprint,
+  seed, grid axes), a compact :class:`MetricsSummary`, routing/fault
+  bookkeeping and wall time.  JSON round-trip with strict validation.
+* :class:`MetricsSummary` / :class:`DistributionSummary` — the compact,
+  *mergeable* metrics reduction workers compute in-process (defined in
+  :mod:`repro.metrics.summary`, re-exported here).
+* :class:`RunStore` — a run directory of sharded JSONL record logs with
+  ``query(protocol=..., metric=...)`` and optional lazy raw-metrics blobs.
+* :class:`ResultCache` — the content-addressed random-access companion
+  (``--resume``), keyed by :func:`spec_fingerprint`.
+* :class:`ScenarioResult` / :class:`SweepResult` — thin flat/tabular views
+  kept for the historical API surface.
+
+``repro.experiments.results`` re-exports these names for backwards
+compatibility; new code should import from :mod:`repro.results`.
+"""
+
+from repro.metrics.summary import DistributionSummary, MetricsSummary
+from repro.results.cache import CACHE_SCHEMA_VERSION, ResultCache, spec_fingerprint
+from repro.results.legacy import ScenarioResult, SweepResult
+from repro.results.record import (
+    RECORD_SCHEMA_KEY,
+    RESULTS_SCHEMA_VERSION,
+    RecordValidationError,
+    RunRecord,
+)
+from repro.results.store import RunStore, RunStoreError
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "DistributionSummary",
+    "MetricsSummary",
+    "RECORD_SCHEMA_KEY",
+    "RESULTS_SCHEMA_VERSION",
+    "RecordValidationError",
+    "ResultCache",
+    "RunRecord",
+    "RunStore",
+    "RunStoreError",
+    "ScenarioResult",
+    "SweepResult",
+    "spec_fingerprint",
+]

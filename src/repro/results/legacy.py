@@ -1,0 +1,271 @@
+"""Flat result views kept for the historical API surface.
+
+:class:`ScenarioResult` predates :class:`~repro.results.record.RunRecord` and
+survives as a thin *flat view* of one: every field is derivable from a record
+(:meth:`ScenarioResult.from_record`), and the runner's ``run()`` keeps
+returning it so single-run callers see the stable, flat metric layout.
+
+:class:`SweepResult` is the tabular adapter over a set of per-run results.
+It is value-agnostic: series may hold either :class:`ScenarioResult` views or
+:class:`RunRecord` objects, because both expose the same metric names
+(attributes on the former, delegating properties on the latter).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Flat view of one simulation run's outcome.
+
+    Attributes:
+        protocol: Protocol name ("spms", "spin", ...).
+        scenario: Scenario name (for provenance in reports).
+        num_nodes: Number of nodes simulated.
+        transmission_radius_m: Maximum transmission radius used.
+        items_generated: Data items originated by the workload.
+        expected_deliveries: Number of (item, destination) pairs the workload
+            expected to complete.
+        deliveries_completed: How many of those completed.
+        total_energy_uj: Network-wide energy (microjoules).
+        energy_per_item_uj: Total energy / items generated — the paper's
+            energy metric.
+        average_delay_ms: Mean end-to-end delay over completed deliveries.
+        delivery_ratio: Completed / expected deliveries.
+        energy_breakdown_uj: Energy per category (tx / rx / routing).
+        packets_sent: Transmissions per packet type.
+        packets_dropped: Drops per reason.
+        routing_rebuilds: How many times the routing tables were (re)built.
+        routing_energy_uj: Energy charged to route formation/maintenance.
+        sim_time_ms: Simulated time when the run finished.
+        failures_injected: Number of transient failures injected.
+    """
+
+    protocol: str
+    scenario: str
+    num_nodes: int
+    transmission_radius_m: float
+    items_generated: int
+    expected_deliveries: int
+    deliveries_completed: int
+    total_energy_uj: float
+    energy_per_item_uj: float
+    average_delay_ms: float
+    delivery_ratio: float
+    energy_breakdown_uj: Dict[str, float] = field(default_factory=dict)
+    packets_sent: Dict[str, int] = field(default_factory=dict)
+    packets_dropped: Dict[str, int] = field(default_factory=dict)
+    routing_rebuilds: int = 0
+    routing_energy_uj: float = 0.0
+    sim_time_ms: float = 0.0
+    failures_injected: int = 0
+
+    @classmethod
+    def from_record(cls, record) -> "ScenarioResult":
+        """Flatten a :class:`~repro.results.record.RunRecord` into this view."""
+        return cls(
+            protocol=record.protocol,
+            scenario=record.scenario,
+            num_nodes=record.num_nodes,
+            transmission_radius_m=record.transmission_radius_m,
+            items_generated=record.items_generated,
+            expected_deliveries=record.expected_deliveries,
+            deliveries_completed=record.deliveries_completed,
+            total_energy_uj=record.total_energy_uj,
+            energy_per_item_uj=record.energy_per_item_uj,
+            average_delay_ms=record.average_delay_ms,
+            delivery_ratio=record.delivery_ratio,
+            energy_breakdown_uj=dict(record.energy_breakdown_uj),
+            packets_sent=dict(record.packets_sent),
+            packets_dropped=dict(record.packets_dropped),
+            routing_rebuilds=record.routing_rebuilds,
+            routing_energy_uj=record.routing_energy_uj,
+            sim_time_ms=record.sim_time_ms,
+            failures_injected=record.failures_injected,
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary representation (used by reports and benchmarks)."""
+        return {
+            "protocol": self.protocol,
+            "scenario": self.scenario,
+            "num_nodes": self.num_nodes,
+            "transmission_radius_m": self.transmission_radius_m,
+            "items_generated": self.items_generated,
+            "expected_deliveries": self.expected_deliveries,
+            "deliveries_completed": self.deliveries_completed,
+            "total_energy_uj": self.total_energy_uj,
+            "energy_per_item_uj": self.energy_per_item_uj,
+            "average_delay_ms": self.average_delay_ms,
+            "delivery_ratio": self.delivery_ratio,
+            "routing_rebuilds": self.routing_rebuilds,
+            "routing_energy_uj": self.routing_energy_uj,
+            "sim_time_ms": self.sim_time_ms,
+            "failures_injected": self.failures_injected,
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """Complete, loss-free dictionary representation (JSON-safe)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def to_json(self) -> str:
+        """Canonical JSON rendering (stable key order, byte-reproducible)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioResult":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass
+class SweepResult:
+    """Results of sweeping one parameter for several series.
+
+    A *series* is usually a protocol; matrices with secondary axes label
+    series ``"spms[placement=random]"`` so every grid line stays visible.
+
+    Attributes:
+        parameter: Name of the swept parameter (e.g. ``"num_nodes"``).
+        values: The swept values, in order.
+        results: ``results[series]`` is that series' runs in sweep order;
+            entries may be :class:`ScenarioResult` views or
+            :class:`~repro.results.record.RunRecord` objects.
+    """
+
+    parameter: str
+    values: List[float] = field(default_factory=list)
+    results: Dict[str, List] = field(default_factory=dict)
+
+    def add(self, series: str, value: float, result) -> None:
+        """Record one run."""
+        if value not in self.values:
+            self.values.append(value)
+        self.results.setdefault(series, []).append(result)
+
+    def series(self, series: str, metric: str) -> List[float]:
+        """Extract one metric across the sweep for one series."""
+        return [getattr(r, metric) for r in self.results.get(series, [])]
+
+    def _value_of(self, result, index: int):
+        """The swept-parameter value a stored result belongs to.
+
+        Records carry their grid coordinates (``axes``); flat results expose
+        config axes (``num_nodes``, ``transmission_radius_m``) as attributes.
+        When neither identifies the value, fall back to positional alignment.
+        """
+        axes = getattr(result, "axes", None)
+        if axes and self.parameter in axes:
+            return axes[self.parameter]
+        value = getattr(result, self.parameter, None)
+        if value is not None:
+            return value
+        return self.values[index] if index < len(self.values) else None
+
+    def _series_by_value(self, results: List) -> Dict[object, object]:
+        """Map each swept value to one series result.
+
+        Alignment is by value, so series with holes land in the right rows.
+        When value matching fails for the *entire* series — hand-assembled
+        sweeps whose results do not carry the swept parameter (e.g. synthetic
+        fixtures swept over an index) — fall back to positional alignment,
+        the historical behaviour, instead of silently emptying the table.
+        """
+        by_value: Dict[object, object] = {}
+        for index, result in enumerate(results):
+            by_value.setdefault(self._value_of(result, index), result)
+        if results and not any(value in by_value for value in self.values):
+            return {
+                value: results[index]
+                for index, value in enumerate(self.values)
+                if index < len(results)
+            }
+        return by_value
+
+    def rows(self, metric: str) -> List[Dict[str, object]]:
+        """Tabular view: one row per swept value, one column per series.
+
+        Series with no run at a value (a protocol that skipped a point, a
+        fleet of heterogeneous specs) simply omit that cell — consumers must
+        tolerate sparse rows, and :meth:`format_table` renders them as ``-``.
+        Results lacking *metric* are likewise skipped rather than raising.
+        """
+        aligned = {
+            series: self._series_by_value(results)
+            for series, results in self.results.items()
+        }
+        rows = []
+        for value in self.values:
+            row: Dict[str, object] = {self.parameter: value}
+            for series, by_value in aligned.items():
+                match = by_value.get(value)
+                if match is None:
+                    continue
+                metric_value = getattr(match, metric, None)
+                if metric_value is not None:
+                    row[series] = metric_value
+            rows.append(row)
+        return rows
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dictionary representation of the whole sweep."""
+        return {
+            "parameter": self.parameter,
+            "values": list(self.values),
+            "results": {
+                series: [r.to_dict() for r in results]
+                for series, results in self.results.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SweepResult":
+        """Rebuild a sweep from :meth:`to_dict` output.
+
+        Entries carrying a run-record schema version are rebuilt as full
+        :class:`~repro.results.record.RunRecord` objects; anything else is
+        read as a flat :class:`ScenarioResult`, so sweeps serialized by
+        either era round-trip.
+        """
+        from repro.results.record import RECORD_SCHEMA_KEY, RunRecord
+
+        sweep = cls(parameter=data["parameter"], values=list(data["values"]))
+        for series, results in data["results"].items():
+            sweep.results[series] = [
+                RunRecord.from_dict(r)
+                if isinstance(r, dict) and RECORD_SCHEMA_KEY in r
+                else ScenarioResult.from_dict(r)
+                for r in results
+            ]
+        return sweep
+
+    def format_table(self, metric: str, precision: int = 3) -> str:
+        """Readable fixed-width table; missing cells render as ``-``."""
+        series_names = sorted(self.results)
+        width = max([14] + [len(name) for name in series_names])
+        header = f"{self.parameter:>20} " + " ".join(
+            f"{name:>{width}}" for name in series_names
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.rows(metric):
+            cells = [f"{str(row[self.parameter]):>20}"]
+            for name in series_names:
+                value = row.get(name)
+                cells.append(
+                    f"{value:>{width}.{precision}f}"
+                    if isinstance(value, (int, float))
+                    else f"{'-':>{width}}"
+                )
+            lines.append(" ".join(cells))
+        return "\n".join(lines)

@@ -1,0 +1,215 @@
+"""On-disk run store: sharded JSONL of run records plus optional raw blobs.
+
+A :class:`RunStore` owns one *run directory*::
+
+    <root>/
+      manifest.json              # schema version + sharding parameters
+      shards/records-0000.jsonl  # one RunRecord per line, appended in order
+      shards/records-0001.jsonl  # next shard once the previous one fills up
+      raw/<fingerprint>.json     # optional raw-metrics blobs, lazily loaded
+
+Records are appended as they complete (the executor streams them in), so an
+interrupted fleet leaves a readable prefix rather than nothing.  Shards are
+rolled over every ``records_per_shard`` appends, keeping individual files
+small enough to scan/ship independently when a run directory accumulates
+thousands of records.
+
+Raw metrics (per-delivery delays, per-node energy, full traffic counters) are
+deliberately *not* part of a record: a producer may attach them as a blob,
+which lands in ``raw/`` and is referenced by ``record.raw_ref`` —
+:meth:`RunStore.load_raw` reads it back on demand.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.results.record import (
+    RECORD_SCHEMA_KEY,
+    RESULTS_SCHEMA_VERSION,
+    RecordValidationError,
+    RunRecord,
+)
+
+MANIFEST_NAME = "manifest.json"
+SHARD_DIR = "shards"
+RAW_DIR = "raw"
+
+
+class RunStoreError(ValueError):
+    """A run directory is unreadable or was written by an incompatible build."""
+
+
+class RunStore:
+    """Appendable, sharded store of :class:`RunRecord` objects.
+
+    Args:
+        root: The run directory (created lazily on first append).
+        records_per_shard: Records per JSONL shard before rolling over.
+    """
+
+    def __init__(self, root: Union[str, Path], records_per_shard: int = 512) -> None:
+        if records_per_shard < 1:
+            raise ValueError(
+                f"records_per_shard must be positive, got {records_per_shard}"
+            )
+        self.root = Path(root)
+        self.records_per_shard = records_per_shard
+        self._shard_index: Optional[int] = None
+        self._shard_count = 0
+
+    # ------------------------------------------------------------- layout
+
+    @property
+    def shard_dir(self) -> Path:
+        return self.root / SHARD_DIR
+
+    @property
+    def raw_dir(self) -> Path:
+        return self.root / RAW_DIR
+
+    def shard_path(self, index: int) -> Path:
+        return self.shard_dir / f"records-{index:04d}.jsonl"
+
+    def shard_paths(self) -> List[Path]:
+        """Existing shard files, in append order."""
+        if not self.shard_dir.is_dir():
+            return []
+        return sorted(self.shard_dir.glob("records-*.jsonl"))
+
+    # ----------------------------------------------------------- manifest
+
+    def _check_or_write_manifest(self) -> None:
+        manifest_path = self.root / MANIFEST_NAME
+        if manifest_path.is_file():
+            try:
+                manifest = json.loads(manifest_path.read_text())
+            except ValueError as exc:
+                raise RunStoreError(f"unreadable manifest {manifest_path}: {exc}") from exc
+            version = manifest.get(RECORD_SCHEMA_KEY)
+            if version != RESULTS_SCHEMA_VERSION:
+                raise RunStoreError(
+                    f"run store {self.root} was written under record schema "
+                    f"{version!r}; this build reads {RESULTS_SCHEMA_VERSION}"
+                )
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        manifest_path.write_text(
+            json.dumps(
+                {
+                    RECORD_SCHEMA_KEY: RESULTS_SCHEMA_VERSION,
+                    "records_per_shard": self.records_per_shard,
+                },
+                sort_keys=True,
+                indent=1,
+            )
+        )
+
+    def _locate_tail_shard(self) -> None:
+        """Find (or initialise) the shard the next append goes to."""
+        existing = self.shard_paths()
+        if not existing:
+            self._shard_index, self._shard_count = 0, 0
+            return
+        tail = existing[-1]
+        self._shard_index = int(tail.stem.split("-")[-1])
+        with tail.open() as handle:
+            self._shard_count = sum(1 for _ in handle)
+
+    # -------------------------------------------------------------- writes
+
+    def append(self, record: RunRecord, raw: Optional[Dict[str, object]] = None) -> RunRecord:
+        """Append *record* (optionally with a raw-metrics blob); returns it.
+
+        When *raw* is given it is written to ``raw/<fingerprint>.json`` and
+        the stored record's ``raw_ref`` points at it.  The (possibly updated)
+        record is returned so callers can keep the stored identity.
+        """
+        self._check_or_write_manifest()
+        if self._shard_index is None:
+            self._locate_tail_shard()
+        if raw is not None:
+            ref = f"{RAW_DIR}/{record.spec_fingerprint}.json"
+            self.raw_dir.mkdir(parents=True, exist_ok=True)
+            (self.root / ref).write_text(json.dumps(raw, sort_keys=True))
+            record = record.with_execution(raw_ref=ref)
+        if self._shard_count >= self.records_per_shard:
+            self._shard_index += 1
+            self._shard_count = 0
+        self.shard_dir.mkdir(parents=True, exist_ok=True)
+        with self.shard_path(self._shard_index).open("a") as handle:
+            handle.write(record.to_json() + "\n")
+        self._shard_count += 1
+        return record
+
+    # --------------------------------------------------------------- reads
+
+    def records(self) -> Iterator[RunRecord]:
+        """Every stored record, in append order (streamed shard by shard)."""
+        for path in self.shard_paths():
+            with path.open() as handle:
+                for line_number, line in enumerate(handle, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        yield RunRecord.from_json(line)
+                    except RecordValidationError as exc:
+                        raise RunStoreError(
+                            f"corrupt record at {path}:{line_number}: {exc}"
+                        ) from exc
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.records())
+
+    def query(
+        self,
+        protocol: Optional[str] = None,
+        scenario: Optional[str] = None,
+        metric: Optional[str] = None,
+        **axes,
+    ) -> Union[List[RunRecord], List[Tuple[RunRecord, float]]]:
+        """Filtered records, optionally paired with one metric's values.
+
+        Args:
+            protocol: Keep only records of this protocol.
+            scenario: Keep only records of this scenario name.
+            metric: When given, return ``(record, value)`` pairs for the named
+                record attribute/property (e.g. ``"energy_per_item_uj"``),
+                silently skipping records that lack it — reports over
+                heterogeneous fleets tolerate partial coverage.
+            **axes: Grid-coordinate filters, e.g. ``placement="random"`` or
+                ``num_nodes=64`` (matched against ``record.axes``).
+        """
+        selected = []
+        for record in self.records():
+            if protocol is not None and record.protocol != protocol:
+                continue
+            if scenario is not None and record.scenario != scenario:
+                continue
+            if any(record.axes.get(axis) != value for axis, value in axes.items()):
+                continue
+            selected.append(record)
+        if metric is None:
+            return selected
+        pairs: List[Tuple[RunRecord, float]] = []
+        for record in selected:
+            value = getattr(record, metric, None)
+            if value is not None:
+                pairs.append((record, value))
+        return pairs
+
+    def load_raw(self, record: RunRecord) -> Optional[Dict[str, object]]:
+        """The raw-metrics blob referenced by *record*, or ``None``.
+
+        Blobs are lazily loaded — nothing is read until a consumer asks.
+        """
+        if record.raw_ref is None:
+            return None
+        path = self.root / record.raw_ref
+        try:
+            return json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None

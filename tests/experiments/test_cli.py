@@ -162,7 +162,7 @@ class TestListCommand:
 
 class TestRunCommand:
     SPEC = {
-        "schema_version": 1,
+        "schema_version": 2,
         "name": "cli-test/spin",
         "protocol": "spin",
         "workload": "all_to_all",
@@ -237,3 +237,192 @@ class TestRunCommand:
         spec_path = Path(__file__).resolve().parents[2] / "examples" / "spec_smoke.json"
         assert main(["run", "--spec", str(spec_path)], out=out) == 0
         assert any("smoke/spms-random-placement" in line for line in lines)
+
+    def test_single_spec_run_dir_persists_a_record(self, capture, tmp_path):
+        lines, out = capture
+        run_dir = tmp_path / "run"
+        path = self._write_spec(tmp_path, self.SPEC)
+        assert main(["run", "--spec", path, "--run-dir", str(run_dir)], out=out) == 0
+        assert any("record appended" in line for line in lines)
+
+        from repro.results import RunStore
+
+        (record,) = list(RunStore(run_dir).records())
+        assert record.protocol == "spin"
+        assert record.key == "cli-test/spin"
+
+
+class TestBatchRunCommand:
+    def _write_fleet(self, tmp_path):
+        for name, protocol in (("a_spms", "spms"), ("b_spin", "spin")):
+            payload = dict(TestRunCommand.SPEC)
+            payload["name"] = f"fleet/{protocol}"
+            payload["protocol"] = protocol
+            (tmp_path / f"{name}.json").write_text(json.dumps(payload))
+        return tmp_path
+
+    def test_spec_dir_runs_every_spec_and_writes_a_run_store(self, capture, tmp_path):
+        lines, out = capture
+        fleet_dir = tmp_path / "specs"
+        fleet_dir.mkdir()
+        self._write_fleet(fleet_dir)
+        run_dir = tmp_path / "run"
+        code = main(
+            ["run", "--spec-dir", str(fleet_dir), "--run-dir", str(run_dir)], out=out
+        )
+        assert code == 0
+        text = "\n".join(lines)
+        assert "batch: 2 spec(s)" in text
+        assert "a_spms" in text and "b_spin" in text
+        assert "2 record(s) appended" in text
+
+        from repro.results import RunStore
+
+        records = list(RunStore(run_dir).records())
+        assert sorted(r.key for r in records) == ["a_spms", "b_spin"]
+        assert {r.protocol for r in records} == {"spms", "spin"}
+        assert all(r.axes == {"spec": r.key} for r in records)
+
+    def test_specs_list_and_json_output(self, capture, tmp_path):
+        lines, out = capture
+        fleet_dir = tmp_path / "specs"
+        fleet_dir.mkdir()
+        self._write_fleet(fleet_dir)
+        paths = sorted(str(p) for p in fleet_dir.glob("*.json"))
+        assert main(["run", "--specs", *paths, "--json"], out=out) == 0
+        payload = json.loads("\n".join(lines[1:]))  # after the "batch:" banner
+        assert [r["key"] for r in payload] == ["a_spms", "b_spin"]
+        assert all(r["summary"]["items_generated"] == 9 for r in payload)
+
+    def test_duplicate_spec_stems_are_disambiguated(self, capture, tmp_path):
+        lines, out = capture
+        fleet_dir = tmp_path / "specs"
+        fleet_dir.mkdir()
+        self._write_fleet(fleet_dir)
+        spec = str(fleet_dir / "a_spms.json")
+        assert main(["run", "--specs", spec, spec, "--json"], out=out) == 0
+        payload = json.loads("\n".join(lines[1:]))
+        assert [r["key"] for r in payload] == ["a_spms", "a_spms#1"]
+
+    def test_batch_workers_match_serial(self, capture, tmp_path):
+        lines, out = capture
+        fleet_dir = tmp_path / "specs"
+        fleet_dir.mkdir()
+        self._write_fleet(fleet_dir)
+        assert main(["run", "--spec-dir", str(fleet_dir), "--json"], out=out) == 0
+        serial = json.loads("\n".join(lines[1:]))
+        lines.clear()
+        assert main(
+            ["run", "--spec-dir", str(fleet_dir), "--workers", "2", "--json"], out=out
+        ) == 0
+        parallel = json.loads("\n".join(lines[1:]))
+        for left, right in zip(serial, parallel):
+            left.pop("wall_time_s"), right.pop("wall_time_s")
+            assert left == right
+
+    def test_missing_spec_dir_fails_cleanly(self, capture):
+        lines, out = capture
+        assert main(["run", "--spec-dir", "/no/such/dir"], out=out) == 2
+        assert any("not found" in line for line in lines)
+
+    def test_empty_spec_dir_fails_cleanly(self, capture, tmp_path):
+        lines, out = capture
+        assert main(["run", "--spec-dir", str(tmp_path)], out=out) == 2
+        assert any("no *.json specs" in line for line in lines)
+
+    def test_invalid_fleet_spec_fails_before_running(self, capture, tmp_path):
+        lines, out = capture
+        (tmp_path / "bad.json").write_text(json.dumps({"schema_version": 2}))
+        assert main(["run", "--spec-dir", str(tmp_path)], out=out) == 2
+        assert any("invalid spec" in line for line in lines)
+
+    def test_unbuildable_fleet_spec_fails_before_running(self, capture, tmp_path):
+        lines, out = capture
+        payload = dict(TestRunCommand.SPEC)
+        payload["placement"] = "hexagonal"
+        (tmp_path / "bad.json").write_text(json.dumps(payload))
+        assert main(["run", "--spec-dir", str(tmp_path)], out=out) == 2
+        assert any("failed to build" in line for line in lines)
+
+    def test_spec_and_spec_dir_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--spec", "a.json", "--spec-dir", "d"])
+
+
+class TestReportCommand:
+    def _populate(self, capture, tmp_path):
+        lines, out = capture
+        fleet_dir = tmp_path / "specs"
+        fleet_dir.mkdir()
+        TestBatchRunCommand()._write_fleet(fleet_dir)
+        run_dir = tmp_path / "run"
+        assert main(
+            ["run", "--spec-dir", str(fleet_dir), "--run-dir", str(run_dir)], out=out
+        ) == 0
+        lines.clear()
+        return run_dir
+
+    def test_report_renders_a_metric_table(self, capture, tmp_path):
+        lines, out = capture
+        run_dir = self._populate(capture, tmp_path)
+        assert main(["report", str(run_dir), "--metric", "average_delay_ms"], out=out) == 0
+        text = "\n".join(lines)
+        assert "2 record(s)" in text
+        assert "average_delay_ms" in text
+        assert "a_spms" in text and "b_spin" in text
+
+    def test_report_protocol_filter(self, capture, tmp_path):
+        lines, out = capture
+        run_dir = self._populate(capture, tmp_path)
+        assert main(["report", str(run_dir), "--protocol", "spin"], out=out) == 0
+        text = "\n".join(lines)
+        assert "b_spin" in text and "a_spms" not in text
+
+    def test_report_json_round_trips_records(self, capture, tmp_path):
+        lines, out = capture
+        run_dir = self._populate(capture, tmp_path)
+        assert main(["report", str(run_dir), "--json"], out=out) == 0
+        from repro.results import RunRecord
+
+        payload = json.loads("\n".join(lines))
+        records = [RunRecord.from_dict(r) for r in payload]
+        assert sorted(r.key for r in records) == ["a_spms", "b_spin"]
+
+    def test_report_from_sweep_run_dir(self, capture, monkeypatch, tmp_path):
+        lines, out = capture
+        tiny = FigureScale(
+            node_counts=(9,),
+            radii_m=(10.0,),
+            fixed_num_nodes=9,
+            packets_per_node=1,
+            arrival_mean_interarrival_ms=5.0,
+        )
+        monkeypatch.setattr(figures, "bench_scale", lambda: tiny)
+        run_dir = tmp_path / "run"
+        assert main(
+            ["sweep", "fig06", "--quiet", "--run-dir", str(run_dir)], out=out
+        ) == 0
+        lines.clear()
+        assert main(["report", str(run_dir)], out=out) == 0
+        text = "\n".join(lines)
+        assert "fig06/num_nodes=9/spms" in text
+        assert "fig06/num_nodes=9/spin" in text
+
+    def test_missing_run_dir_fails_cleanly(self, capture):
+        lines, out = capture
+        assert main(["report", "/no/such/run"], out=out) == 2
+        assert any("not found" in line for line in lines)
+
+    def test_non_numeric_metrics_rejected_up_front(self):
+        from repro.cli import METRIC_NAMES
+
+        assert "packets_sent" not in METRIC_NAMES
+        assert "protocol" not in METRIC_NAMES
+        assert "energy_per_item_uj" in METRIC_NAMES
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report", "r", "--metric", "packets_sent"])
+
+    def test_empty_run_dir_fails_cleanly(self, capture, tmp_path):
+        lines, out = capture
+        assert main(["report", str(tmp_path)], out=out) == 2
+        assert any("no records" in line for line in lines)

@@ -9,9 +9,11 @@ from repro.experiments.executor import (
     assemble_sweep,
     default_workers,
     execute_jobs,
+    series_label,
+    stream_jobs,
 )
 from repro.experiments.matrix import matrix_from_axes
-from repro.experiments.results import ResultCache, ScenarioResult, spec_fingerprint
+from repro.results import ResultCache, RunRecord, RunStore, spec_fingerprint
 
 
 @pytest.fixture
@@ -57,18 +59,94 @@ class TestSerialExecution:
         assert sweep.values == [9, 16]
         assert [r.num_nodes for r in sweep.results["spms"]] == [9, 16]
 
-    def test_merged_metrics_cover_all_shards(self, small_matrix):
+    def test_merged_summary_covers_all_shards(self, small_matrix):
         jobs = small_matrix.expand()
-        results, report = execute_jobs(jobs, merge_metrics=True)
-        merged = report.merged_metrics
+        results, report = execute_jobs(jobs)
+        merged = report.merged_summary
         assert merged is not None
         assert merged.items_generated == sum(r.items_generated for r in results.values())
         assert merged.total_energy_uj == pytest.approx(
             sum(r.total_energy_uj for r in results.values())
         )
-        assert merged.delay.deliveries_completed == sum(
+        assert merged.deliveries_completed == sum(
             r.deliveries_completed for r in results.values()
         )
+
+    def test_records_carry_provenance(self, small_matrix):
+        jobs = small_matrix.expand()
+        results, _ = execute_jobs(jobs)
+        for job in jobs:
+            record = results[job.key]
+            assert isinstance(record, RunRecord)
+            assert record.key == job.key
+            assert record.axes == dict(job.axes)
+            assert record.spec_fingerprint == spec_fingerprint(job.spec)
+            assert record.seed == job.spec.config.seed
+            assert record.wall_time_s > 0.0
+
+
+class TestStreaming:
+    def test_stream_yields_each_completion_once(self, small_matrix):
+        jobs = small_matrix.expand()
+        completions = list(stream_jobs(jobs))
+        assert [c.job.key for c in completions] == [j.key for j in jobs]
+        assert all(not c.from_cache for c in completions)
+        assert all(isinstance(c.record, RunRecord) for c in completions)
+
+    def test_stream_is_lazy(self, small_matrix):
+        # Pulling one completion must not have executed the whole grid.
+        jobs = small_matrix.expand()
+        stream = stream_jobs(jobs)
+        first = next(stream)
+        assert first.job.key == jobs[0].key
+        stream.close()
+
+    def test_stream_writes_through_to_store(self, small_matrix, tmp_path):
+        jobs = small_matrix.expand()
+        store = RunStore(tmp_path / "run")
+        completions = list(stream_jobs(jobs, store=store))
+        stored = list(store.records())
+        assert [r.key for r in stored] == [c.job.key for c in completions]
+        assert stored[0].to_dict() == completions[0].record.to_dict()
+
+    def test_store_receives_cache_hits_too(self, small_matrix, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        jobs = small_matrix.expand()
+        list(stream_jobs(jobs, cache=cache))
+        store = RunStore(tmp_path / "run")
+        completions = list(stream_jobs(jobs, cache=cache, resume=True, store=store))
+        assert all(c.from_cache for c in completions)
+        assert len(list(store.records())) == len(jobs)
+
+    def test_cache_hits_are_restamped_with_the_requesting_job(self, small_matrix, tmp_path):
+        # Two matrices can share cache entries (the fingerprint hashes the
+        # spec, not the job key — under "shared" seeding identical specs can
+        # come from differently-named grids); a hit served to a different
+        # sweep must carry *that* sweep's key and axes, not the original
+        # populator's.
+        def expand(name):
+            return matrix_from_axes(
+                name,
+                "num_nodes",
+                (9, 16),
+                protocols=("spms",),
+                base_config=small_matrix.base_config,
+                seed_policy="shared",
+            ).expand()
+
+        cache = ResultCache(tmp_path / "cache")
+        jobs = expand("first-name")
+        list(stream_jobs(jobs, cache=cache))
+        renamed = expand("other-name")
+        assert [spec_fingerprint(j.spec) for j in renamed] == [
+            spec_fingerprint(j.spec) for j in jobs
+        ]
+        completions = list(stream_jobs(renamed, cache=cache, resume=True))
+        assert all(c.from_cache for c in completions)
+        for completion in completions:
+            assert completion.record.key == completion.job.key
+            assert completion.record.key.startswith("other-name/")
+            assert completion.record.axes == dict(completion.job.axes)
 
 
 class TestResultCache:
@@ -124,11 +202,33 @@ class TestResultCache:
         results, _ = execute_jobs(jobs[:1], cache=cache)
         stored = cache.load(spec_fingerprint(jobs[0].spec))
         original = results[jobs[0].key]
-        assert isinstance(stored, ScenarioResult)
+        assert isinstance(stored, RunRecord)
         assert stored.to_dict() == original.to_dict()
         # Entries are valid, human-inspectable JSON with spec provenance.
         payload = json.loads(cache.path_for(spec_fingerprint(jobs[0].spec)).read_text())
         assert payload["spec"]["protocol"] == "spms"
+        assert payload["record"]["summary"]["items_generated"] > 0
+
+
+class TestSeriesLabels:
+    def test_single_axis_jobs_keep_bare_protocol_labels(self, small_matrix):
+        for job in small_matrix.expand():
+            assert series_label(job) == job.protocol
+
+    def test_secondary_axes_are_folded_into_the_label(self):
+        from repro.experiments.matrix import ScenarioMatrix
+
+        matrix = ScenarioMatrix(
+            name="label-test",
+            axes={"num_nodes": (9,), "placement": ("grid", "random")},
+            protocols=("spms",),
+            base_config=SimulationConfig(
+                num_nodes=9, packets_per_node=1, transmission_radius_m=15.0,
+                grid_spacing_m=5.0, seed=3,
+            ),
+        )
+        labels = [series_label(job) for job in matrix.expand()]
+        assert labels == ["spms[placement=grid]", "spms[placement=random]"]
 
 
 class TestWorkerConfiguration:

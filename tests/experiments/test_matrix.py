@@ -12,7 +12,7 @@ from repro.experiments.matrix import (
     matrix_from_axes,
     register_matrix,
 )
-from repro.experiments.figures import bench_scale
+from repro.experiments.figures import FigureScale, bench_scale
 
 
 @pytest.fixture
@@ -85,6 +85,19 @@ class TestExpansion:
         jobs = matrix_from_axes("m", "num_nodes", (9,), base_config=base_config).expand()
         assert pickle.loads(pickle.dumps(jobs[0])).key == jobs[0].key
 
+    def test_jobs_carry_their_grid_coordinates(self, base_config):
+        matrix = ScenarioMatrix(
+            name="grid",
+            axes={"num_nodes": (9, 16), "transmission_radius_m": (10.0,)},
+            protocols=("spms",),
+            base_config=base_config,
+        )
+        axes = [job.axes for job in matrix.expand()]
+        assert axes == [
+            {"num_nodes": 9, "transmission_radius_m": 10.0},
+            {"num_nodes": 16, "transmission_radius_m": 10.0},
+        ]
+
     def test_validation(self, base_config):
         with pytest.raises(ValueError, match="axis"):
             ScenarioMatrix(name="m", axes={"num_nodes": ()})
@@ -94,11 +107,132 @@ class TestExpansion:
             ScenarioMatrix(name="m", axes={"num_nodes": (9,)}, protocols=())
 
 
+class TestNonConfigAxes:
+    def test_placement_axis_overrides_the_spec_selector(self, base_config):
+        matrix = ScenarioMatrix(
+            name="m",
+            axes={"num_nodes": (9,), "placement": ("grid", "random")},
+            protocols=("spms",),
+            base_config=base_config,
+        )
+        jobs = matrix.expand()
+        assert [j.spec.placement for j in jobs] == ["grid", "random"]
+        assert [j.key for j in jobs] == [
+            "m/num_nodes=9/placement=grid/spms",
+            "m/num_nodes=9/placement=random/spms",
+        ]
+        # Non-config coordinates do not leak into the config.
+        assert all(j.spec.config.num_nodes == 9 for j in jobs)
+
+    def test_workload_axis_sweeps_workloads(self, base_config):
+        matrix = ScenarioMatrix(
+            name="m",
+            axes={"workload": ("all_to_all", "cluster")},
+            protocols=("spms",),
+            base_config=base_config,
+        )
+        jobs = matrix.expand()
+        assert [j.spec.workload for j in jobs] == ["all_to_all", "cluster"]
+        assert [j.value for j in jobs] == ["all_to_all", "cluster"]
+
+    def test_dotted_option_axis_merges_into_options(self, base_config):
+        matrix = ScenarioMatrix(
+            name="m",
+            axes={
+                "transmission_radius_m": (15.0,),
+                "workload_options.packets_per_member": (1, 2),
+            },
+            protocols=("spms",),
+            base_config=base_config,
+            workload="cluster",
+            workload_options={"member_interest_probability": 0.5},
+        )
+        jobs = matrix.expand()
+        assert [j.spec.workload_options["packets_per_member"] for j in jobs] == [1, 2]
+        # Matrix-wide options survive alongside the swept one.
+        assert all(
+            j.spec.workload_options["member_interest_probability"] == 0.5 for j in jobs
+        )
+
+    def test_non_config_axes_derive_distinct_spawn_seeds(self, base_config):
+        matrix = ScenarioMatrix(
+            name="m",
+            axes={"placement": ("grid", "random")},
+            protocols=("spms",),
+            base_config=base_config,
+            seed_policy="spawn",
+        )
+        seeds = [j.spec.config.seed for j in matrix.expand()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_unknown_axis_rejected(self, base_config):
+        with pytest.raises(ValueError, match="unknown axis"):
+            ScenarioMatrix(
+                name="m", axes={"num_nodez": (9,)}, base_config=base_config
+            )
+        with pytest.raises(ValueError, match="unknown axis"):
+            ScenarioMatrix(
+                name="m",
+                axes={"workload_options.": (1,)},
+                base_config=base_config,
+            )
+
+    def test_non_config_axis_incompatible_with_custom_factory(self, base_config):
+        def factory(protocol, config, name):  # pragma: no cover - never called
+            raise AssertionError
+
+        with pytest.raises(ValueError, match="scenario_factory"):
+            ScenarioMatrix(
+                name="m",
+                axes={"placement": ("grid",)},
+                base_config=base_config,
+                scenario_factory=factory,
+            )
+
+
 class TestRegistry:
     def test_builtin_figures_registered(self):
         names = available_matrices()
-        for expected in ("fig06", "fig07", "fig10-failures", "fig12-mobility"):
+        for expected in (
+            "fig06",
+            "fig06-placement",
+            "fig07",
+            "fig10-failures",
+            "fig12-mobility",
+            "fig12-waypoint",
+        ):
             assert expected in names
+
+    def test_placement_matrix_covers_both_placements(self):
+        matrix = get_matrix("fig06-placement", scale=bench_scale())
+        assert matrix.parameter == "num_nodes"
+        assert tuple(matrix.axes["placement"]) == ("grid", "random")
+        placements = {j.spec.placement for j in matrix.expand()}
+        assert placements == {"grid", "random"}
+
+    def test_waypoint_matrix_uses_the_waypoint_component(self):
+        matrix = get_matrix("fig12-waypoint", scale=bench_scale())
+        assert matrix.mobility is not None
+        assert matrix.mobility.model == "waypoint"
+        job = matrix.expand()[0]
+        assert job.spec.mobility.model == "waypoint"
+
+    def test_waypoint_matrix_runs_end_to_end(self):
+        from repro.experiments.executor import execute_jobs
+
+        tiny = FigureScale(
+            node_counts=(9,),
+            radii_m=(15.0,),
+            fixed_num_nodes=9,
+            packets_per_node=1,
+            mobility_packets_per_node=2,
+            arrival_mean_interarrival_ms=5.0,
+        )
+        jobs = get_matrix("fig12-waypoint", scale=tiny).expand()
+        records, _ = execute_jobs(jobs[:1])
+        record = records[jobs[0].key]
+        assert record.deliveries_completed > 0
+        assert record.sim_time_ms > 0.0
 
     def test_get_matrix_builds_scaled_grid(self):
         matrix = get_matrix("fig06", scale=bench_scale())

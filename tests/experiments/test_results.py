@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.results import ScenarioResult, SweepResult
+from repro.results import ScenarioResult, SweepResult
 
 
 def make_result(protocol="spms", energy=10.0, delay=5.0, nodes=16):
@@ -63,3 +63,72 @@ class TestSweepResult:
         assert "num_nodes" in table
         assert "spin" in table and "spms" in table
         assert len(table.splitlines()) == 4  # header + rule + 2 rows
+
+
+class TestSparseSweeps:
+    """Sweeps must tolerate series that do not cover every point.
+
+    Batch fleets and multi-axis matrices legitimately produce series with
+    holes; ``rows``/``format_table`` used to assume every protocol had a run
+    at every value and silently misaligned the table instead.
+    """
+
+    def build_sparse(self):
+        # spms covers 16 and 36; spin only 36 — and spin's first recorded
+        # run is the 36-node one, which positional alignment would have
+        # wrongly placed in the 16-node row.
+        sweep = SweepResult(parameter="num_nodes")
+        sweep.add("spms", 16, make_result("spms", energy=6.0, nodes=16))
+        sweep.add("spms", 36, make_result("spms", energy=10.0, nodes=36))
+        sweep.add("spin", 36, make_result("spin", energy=20.0, nodes=36))
+        return sweep
+
+    def test_rows_align_by_value_not_position(self):
+        rows = self.build_sparse().rows("energy_per_item_uj")
+        assert rows[0] == {"num_nodes": 16, "spms": 6.0}
+        assert rows[1] == {"num_nodes": 36, "spms": 10.0, "spin": 20.0}
+
+    def test_format_table_renders_missing_cells_as_dashes(self):
+        table = self.build_sparse().format_table("energy_per_item_uj")
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "-" in lines[2].split()  # spin cell at 16 nodes
+        assert "20.000" in lines[3]
+
+    def test_missing_metric_is_skipped_not_raised(self):
+        rows = self.build_sparse().rows("not_a_metric")
+        assert rows == [{"num_nodes": 16}, {"num_nodes": 36}]
+        table = self.build_sparse().format_table("not_a_metric")
+        assert table.count("-") >= 3
+
+    def test_series_tolerates_unknown_series_name(self):
+        assert self.build_sparse().series("gossip", "energy_per_item_uj") == []
+
+    def test_positional_fallback_when_no_result_carries_the_parameter(self):
+        # Hand-assembled sweeps over a synthetic index (every result has the
+        # same num_nodes) keep the historical positional alignment instead
+        # of producing an empty table.
+        sweep = SweepResult(parameter="num_nodes")
+        sweep.add("spms", 0, make_result("spms", energy=6.0, nodes=16))
+        sweep.add("spms", 1, make_result("spms", energy=10.0, nodes=16))
+        rows = sweep.rows("energy_per_item_uj")
+        assert rows == [{"num_nodes": 0, "spms": 6.0}, {"num_nodes": 1, "spms": 10.0}]
+
+
+class TestSweepRoundTrip:
+    def test_record_sweeps_round_trip(self):
+        from tests.results.test_record import make_record
+
+        sweep = SweepResult(parameter="num_nodes")
+        sweep.add("spms", 9, make_record(axes={"num_nodes": 9}))
+        rebuilt = SweepResult.from_dict(sweep.to_dict())
+        assert rebuilt.to_dict() == sweep.to_dict()
+        assert rebuilt.results["spms"][0] == sweep.results["spms"][0]
+        assert rebuilt.rows("energy_per_item_uj") == sweep.rows("energy_per_item_uj")
+
+    def test_flat_result_sweeps_round_trip(self):
+        sweep = SweepResult(parameter="num_nodes")
+        sweep.add("spms", 16, make_result("spms", nodes=16))
+        rebuilt = SweepResult.from_dict(sweep.to_dict())
+        assert rebuilt.to_dict() == sweep.to_dict()
+        assert isinstance(rebuilt.results["spms"][0], ScenarioResult)

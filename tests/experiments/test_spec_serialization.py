@@ -9,9 +9,10 @@ Three guarantees are pinned here:
 * **Cache-key stability** — the content-addressed cache keys of the
   registered figure matrices are pinned to literal hashes, so an accidental
   change to the serialized layout (which would silently orphan every cached
-  sweep result) fails loudly.  The migration to the canonical ``to_dict``
-  layout was itself a *deliberate* one-shot invalidation, recorded as
-  ``CACHE_SCHEMA_VERSION = 2`` in :mod:`repro.experiments.results`.
+  sweep result) fails loudly.  The migration to spec schema v2 (``labels``)
+  plus RunRecord cache payloads was itself a *deliberate* one-shot
+  invalidation, recorded as ``CACHE_SCHEMA_VERSION = 3`` in
+  :mod:`repro.results.cache`.
 """
 
 import json
@@ -27,7 +28,7 @@ from repro.experiments.config import (
     SpecValidationError,
 )
 from repro.experiments.matrix import get_matrix
-from repro.experiments.results import CACHE_SCHEMA_VERSION, spec_fingerprint
+from repro.results import CACHE_SCHEMA_VERSION, spec_fingerprint
 from repro.experiments.scenarios import (
     SCHEMA_KEY,
     SPEC_SCHEMA_VERSION,
@@ -94,6 +95,7 @@ specs = st.builds(
     placement_options=option_dicts,
     failures=failures,
     mobility=mobility,
+    labels=option_dicts,
     charge_initial_routing=st.booleans(),
     settle_margin_ms=st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
     trace=st.booleans(),
@@ -157,7 +159,7 @@ class TestValidation:
         with pytest.raises(SpecValidationError, match="epochs"):
             ScenarioSpec.from_dict(payload)
 
-    @pytest.mark.parametrize("version", (0, 2, 99, "1", None))
+    @pytest.mark.parametrize("version", (0, 1, 99, "2", None))
     def test_bad_schema_version_rejected(self, version):
         payload = self._payload()
         payload[SCHEMA_KEY] = version
@@ -191,10 +193,15 @@ class TestValidation:
         with pytest.raises(SpecValidationError, match="JSON"):
             ScenarioSpec.from_json("{not json")
 
-    def test_schema_version_is_one(self):
+    def test_schema_version_is_two(self):
         # Bumping the schema version is an API break for on-disk spec files;
-        # this pin makes the bump a conscious, reviewed act.
-        assert SPEC_SCHEMA_VERSION == 1
+        # this pin makes the bump a conscious, reviewed act.  v1 -> v2 added
+        # the `labels` field (together with CACHE_SCHEMA_VERSION 2 -> 3).
+        assert SPEC_SCHEMA_VERSION == 2
+
+    def test_unknown_labels_shape_rejected(self):
+        with pytest.raises(SpecValidationError, match="labels"):
+            ScenarioSpec.from_dict(self._payload(labels=["not", "a", "mapping"]))
 
 
 class TestCacheKeyStability:
@@ -207,20 +214,34 @@ class TestCacheKeyStability:
     and re-pin.
     """
 
-    #: (matrix, job key) -> expected fingerprint under CACHE_SCHEMA_VERSION 2.
+    #: (matrix, job key) -> expected fingerprint under CACHE_SCHEMA_VERSION 3.
     PINNED = {
-        ("fig06", "fig06/num_nodes=16/spms"): "d64e89ec651b5cf5c3a0751c7f6b5f71aed7489eb951c34ea0b3b631c45a7f03",
-        ("fig06", "fig06/num_nodes=16/spin"): "a4ba0eb3bab8082b3089af4d7138f4fad126fb0bec1fa101a5f734eadd5eb587",
-        ("fig06", "fig06/num_nodes=36/spms"): "9a4d25e47a402a3483c91d8f70ad4f8ffe782f1d2c69ff5a835766d5e8ca3f8f",
-        ("fig06", "fig06/num_nodes=36/spin"): "d20c594b38f7747028238e617b61bbe461b238955e7a07dc1c6a42ab57126b6d",
-        ("fig13-cluster", "fig13-cluster/transmission_radius_m=10/spms"): "42c99a50628a8b5847259d454df9ed9390e13df551c4cb9903f3472a0a27aef2",
-        ("fig13-cluster", "fig13-cluster/transmission_radius_m=10/spin"): "fcf0ba186752d148f6654b65caa715faca784a31fa0811f8ce74fdcb6cb45aab",
-        ("fig13-cluster", "fig13-cluster/transmission_radius_m=15/spms"): "2b4c50a5f90766712bc42effb7842acd6cc12d1580b3fa8b9717e1c9accf710c",
-        ("fig13-cluster", "fig13-cluster/transmission_radius_m=15/spin"): "09aafbbebb6bd63a4a932046d617c36074eded564f10ce3b093369def4893244",
+        ("fig06", "fig06/num_nodes=16/spms"): "68e9bd607b22625e6d38d0c118d0f7cf68d5db3f3787b83ad3ed52c6c495e994",
+        ("fig06", "fig06/num_nodes=16/spin"): "4869e45c7541b23b9b7c963b19466376a96060a98ab2014ae7ed66f777ea0252",
+        ("fig06", "fig06/num_nodes=36/spms"): "4386ec011487a1f55c91868f9b1159de8efb1d72e2fc5b3101cc53ff0eef0ffb",
+        ("fig06", "fig06/num_nodes=36/spin"): "2ac5bddffd488f9457915f5a2d097bae15df140606bc5d496f83b5b7fc157592",
+        ("fig06-placement", "fig06-placement/num_nodes=16/placement=grid/spms"): "68e9bd607b22625e6d38d0c118d0f7cf68d5db3f3787b83ad3ed52c6c495e994",
+        ("fig06-placement", "fig06-placement/num_nodes=16/placement=random/spms"): "9c6249361915fd515c5eb5104dca66f88fefa0e1445086b57c9edb72a5bb95f0",
+        ("fig13-cluster", "fig13-cluster/transmission_radius_m=10/spms"): "4d31f906806ffc952d80ec28383e3ac59061e4499e4daddf3ccc218595c49181",
+        ("fig13-cluster", "fig13-cluster/transmission_radius_m=10/spin"): "ee027de64a22d0f994b9014db7747cb3f75b2158b94cca4c53102854afe10b83",
+        ("fig13-cluster", "fig13-cluster/transmission_radius_m=15/spms"): "1d52677182e1de121c00d6ee40fd9ac5962b18e48a4fd931d1213588e97446a5",
+        ("fig13-cluster", "fig13-cluster/transmission_radius_m=15/spin"): "cfdf8e78380481c1683fee250c73f4c8ccbea5c7d28251b6a743ba6c015caa97",
     }
 
-    def test_cache_schema_version_is_two(self):
-        assert CACHE_SCHEMA_VERSION == 2
+    def test_cache_schema_version_is_three(self):
+        assert CACHE_SCHEMA_VERSION == 3
+
+    def test_placement_grid_point_shares_the_single_placement_entry(self):
+        # The non-config `placement` axis materialises the *same* canonical
+        # spec as the single-placement fig06 matrix at the same grid point,
+        # so the two share one cache entry — sweeping a superset matrix never
+        # re-simulates what a subset sweep already cached.
+        assert (
+            self.PINNED[("fig06", "fig06/num_nodes=16/spms")]
+            == self.PINNED[
+                ("fig06-placement", "fig06-placement/num_nodes=16/placement=grid/spms")
+            ]
+        )
 
     def test_figure_matrix_cache_keys_are_pinned(self):
         by_matrix = {}

@@ -28,7 +28,7 @@ CONFIG = {
 
 def _spec_json(protocol: str, workload: str, placement: str) -> str:
     payload = {
-        "schema_version": 1,
+        "schema_version": 2,
         "name": f"json/{workload}/{placement}/{protocol}",
         "protocol": protocol,
         "workload": workload,

@@ -1,0 +1,110 @@
+"""Tests for the sharded-JSONL run store."""
+
+import json
+
+import pytest
+
+from repro.results import RunStore, RunStoreError
+
+from tests.results.test_record import make_record
+
+
+@pytest.fixture
+def store(tmp_path):
+    return RunStore(tmp_path / "run", records_per_shard=3)
+
+
+def fill(store, count, **overrides):
+    records = []
+    for index in range(count):
+        records.append(
+            store.append(
+                make_record(
+                    key=f"t/num_nodes={index}/spms",
+                    axes={"num_nodes": index},
+                    **overrides,
+                )
+            )
+        )
+    return records
+
+
+class TestAppendAndRead:
+    def test_records_come_back_in_append_order(self, store):
+        written = fill(store, 5)
+        read = list(store.records())
+        assert [r.key for r in read] == [r.key for r in written]
+        assert read[0].to_dict() == written[0].to_dict()
+        assert len(store) == 5
+
+    def test_appends_roll_over_into_shards(self, store):
+        fill(store, 7)  # records_per_shard=3 -> shards of 3, 3, 1
+        paths = store.shard_paths()
+        assert [p.name for p in paths] == [
+            "records-0000.jsonl", "records-0001.jsonl", "records-0002.jsonl",
+        ]
+        counts = [sum(1 for _ in p.open()) for p in paths]
+        assert counts == [3, 3, 1]
+
+    def test_reopening_continues_the_tail_shard(self, store):
+        fill(store, 4)
+        reopened = RunStore(store.root, records_per_shard=3)
+        reopened.append(make_record(key="later"))
+        counts = [sum(1 for _ in p.open()) for p in reopened.shard_paths()]
+        assert counts == [3, 2]
+        assert [r.key for r in reopened.records()][-1] == "later"
+
+    def test_manifest_written_once_and_validated(self, store):
+        fill(store, 1)
+        manifest = json.loads((store.root / "manifest.json").read_text())
+        assert manifest["schema_version"] == 1
+        (store.root / "manifest.json").write_text(json.dumps({"schema_version": 99}))
+        with pytest.raises(RunStoreError, match="schema"):
+            RunStore(store.root).append(make_record())
+
+    def test_corrupt_line_is_a_loud_error(self, store):
+        fill(store, 1)
+        path = store.shard_paths()[0]
+        path.write_text(path.read_text() + "{not json\n")
+        with pytest.raises(RunStoreError, match="corrupt record"):
+            list(store.records())
+
+
+class TestQuery:
+    def test_filter_by_protocol_and_axes(self, store):
+        fill(store, 3)
+        store.append(make_record(key="t/spin", protocol="spin", axes={"num_nodes": 1}))
+        assert len(store.query(protocol="spms")) == 3
+        assert [r.key for r in store.query(protocol="spin")] == ["t/spin"]
+        by_axis = store.query(num_nodes=1)
+        assert sorted(r.key for r in by_axis) == ["t/num_nodes=1/spms", "t/spin"]
+        assert store.query(protocol="flooding") == []
+
+    def test_metric_query_returns_value_pairs(self, store):
+        fill(store, 2)
+        pairs = store.query(metric="energy_per_item_uj")
+        assert len(pairs) == 2
+        for record, value in pairs:
+            assert value == record.energy_per_item_uj
+
+    def test_metric_query_skips_records_lacking_the_metric(self, store):
+        fill(store, 2)
+        assert store.query(metric="no_such_metric") == []
+
+
+class TestRawBlobs:
+    def test_raw_blob_round_trips_lazily(self, store):
+        raw = {"delays_ms": [1.0, 2.0, 3.0], "traffic": {"sent": {"ADV": 9}}}
+        stored = store.append(make_record(), raw=raw)
+        assert stored.raw_ref is not None
+        # The record read back from disk still references the blob...
+        (read,) = list(store.records())
+        assert read.raw_ref == stored.raw_ref
+        # ...and the blob loads on demand.
+        assert store.load_raw(read) == raw
+
+    def test_records_without_blob_load_none(self, store):
+        fill(store, 1)
+        (read,) = list(store.records())
+        assert read.raw_ref is None
+        assert store.load_raw(read) is None
