@@ -17,6 +17,9 @@ code:
   result caching and ``--resume``.
 * ``list``      — list registered components (protocols, workloads,
   placements, mobility/failure/contention models) or scenario matrices.
+* ``bench``     — run a named kernel benchmark serially in-process and append
+  a schema-versioned throughput record (events/sec, wall time, canonical
+  digest, git metadata) to ``BENCH_kernel.json``.
 * ``figure``    — regenerate one of the paper's figures and print its rows.
 * ``list-figures`` — list the available figure names.
 * ``table1``    — print the Table 1 parameter set.
@@ -32,6 +35,8 @@ Examples::
     python -m repro sweep fig06 --workers 4
     python -m repro sweep fig06 --workers 4 --cache-dir .sweep-cache --resume
     python -m repro sweep --list
+    python -m repro bench fig06
+    python -m repro bench --quick --output /tmp/bench-smoke.json
     python -m repro figure fig6
     python -m repro figure fig3
     python -m repro table1
@@ -73,6 +78,14 @@ from repro.experiments.scenarios import (
     all_to_all_scenario,
     cluster_scenario,
 )
+from repro.perf import (
+    BenchValidationError,
+    append_bench_record,
+    available_benchmarks,
+    get_benchmark,
+    run_benchmark,
+)
+from repro.perf.bench import QUICK_BENCHMARK, format_bench_record
 from repro.results import (
     ResultCache,
     RunRecord,
@@ -163,6 +176,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run directory to append batch records to (see 'repro report')",
     )
     run.add_argument(
+        "--keep-raw", action="store_true",
+        help="also store the raw per-run metrics blob (per-delivery delays, "
+             "per-node energy) in the run directory; needs --run-dir and a "
+             "single --spec",
+    )
+    run.add_argument(
         "--json", action="store_true", dest="as_json",
         help="print the full result(s) as JSON instead of the summary table",
     )
@@ -243,6 +262,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-job progress lines"
     )
 
+    bench = subparsers.add_parser(
+        "bench", help="run a named kernel benchmark and record its throughput"
+    )
+    bench.add_argument(
+        "name", nargs="?", default=None,
+        help="registered benchmark name (see --list); default: fig06",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help=f"run the {QUICK_BENCHMARK!r} smoke benchmark (CI uses this)",
+    )
+    bench.add_argument("--list", action="store_true", help="list registered benchmarks")
+    bench.add_argument(
+        "--output", default="BENCH_kernel.json",
+        help="bench trajectory file to append the record to "
+             "(default: BENCH_kernel.json)",
+    )
+    bench.add_argument(
+        "--no-append", action="store_true",
+        help="print the record without writing --output",
+    )
+    bench.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the full bench record as JSON",
+    )
+
     figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
     figure.add_argument("name", choices=sorted(SIMULATED_FIGURES) + sorted(ANALYTICAL_FIGURES))
     figure.add_argument(
@@ -256,8 +301,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    if args.keep_raw and not args.run_dir:
+        out("--keep-raw needs --run-dir (there is no store for the raw blob)")
+        return 2
     if args.spec is not None:
         return _run_single_spec(args, out)
+    if args.keep_raw:
+        out("--keep-raw only applies to single --spec runs "
+            "(batch workers reduce metrics in-process and ship summaries only)")
+        return 2
     return _run_spec_batch(args, out)
 
 
@@ -286,7 +338,8 @@ def _run_single_spec(args: argparse.Namespace, out: Callable[[str], None]) -> in
         return 2
     record = runner.run_record()
     if args.run_dir:
-        RunStore(args.run_dir).append(record)
+        raw = runner.raw_metrics() if args.keep_raw else None
+        record = RunStore(args.run_dir).append(record, raw=raw)
     result = ScenarioResult.from_record(record)
     if args.as_json:
         out(json.dumps(result.to_dict(), sort_keys=True, indent=1))
@@ -298,7 +351,8 @@ def _run_single_spec(args: argparse.Namespace, out: Callable[[str], None]) -> in
             continue
         out(f"  {key:<24} {value:.4f}" if isinstance(value, float) else f"  {key:<24} {value}")
     if args.run_dir:
-        out(f"record appended to {args.run_dir}")
+        suffix = f" (raw blob: {record.raw_ref})" if args.keep_raw else ""
+        out(f"record appended to {args.run_dir}{suffix}")
     return 0
 
 
@@ -564,6 +618,39 @@ def _cmd_sweep(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    if args.list:
+        out("registered benchmarks:")
+        for name in available_benchmarks():
+            out(f"  {name:<16} {get_benchmark(name).description}")
+        return 0
+    if args.quick and args.name is not None:
+        out("pick either a benchmark name or --quick, not both")
+        return 2
+    name = QUICK_BENCHMARK if args.quick else (args.name or "fig06")
+    try:
+        scenario = get_benchmark(name)
+    except KeyError as exc:
+        out(str(exc.args[0]))
+        return 2
+    out(f"bench {scenario.name}: {scenario.description or scenario.matrix}")
+    record = run_benchmark(scenario)
+    if args.as_json:
+        out(json.dumps(record, sort_keys=True, indent=1))
+    else:
+        for line in format_bench_record(record):
+            out(line)
+    if args.no_append:
+        return 0
+    try:
+        records = append_bench_record(args.output, record)
+    except BenchValidationError as exc:
+        out(f"cannot append to {args.output}: {exc}")
+        return 2
+    out(f"record {len(records)} appended to {args.output}")
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     if args.name in ANALYTICAL_FIGURES:
         generator, description = ANALYTICAL_FIGURES[args.name]
@@ -606,6 +693,8 @@ def main(argv: Optional[Sequence[str]] = None, out: Callable[[str], None] = prin
         return _cmd_compare(args, out)
     if args.command == "sweep":
         return _cmd_sweep(args, out)
+    if args.command == "bench":
+        return _cmd_bench(args, out)
     if args.command == "figure":
         return _cmd_figure(args, out)
     if args.command == "list-figures":

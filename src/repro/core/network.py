@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.core.packets import Packet
+from repro.core.packets import Packet, PacketType
 from repro.mac.channel import ChannelReservation
 from repro.mac.delay import MacDelayModel
 from repro.metrics.collector import MetricsCollector
@@ -74,6 +74,15 @@ class Network:
         self._failed: Set[int] = set()
         self._range_cache: Dict[Tuple[int, float], List[int]] = {}
         self._range_cache_version = -1
+        # Registered receivers per broadcast sender; recomputing the zone
+        # membership filter on every broadcast dominates `broadcast` once the
+        # zones are big.  Invalidated when any node moves (topology version)
+        # or when registration changes.
+        self._receiver_cache: Dict[int, Tuple[int, ...]] = {}
+        self._receiver_cache_version = -1
+        # Per-transmission constants: the packet-type label and the delivery
+        # event name are interned once instead of rebuilt per transmission.
+        self._deliver_names = {t.value: f"deliver.{t.value}" for t in PacketType}
 
     # ------------------------------------------------------------ registration
 
@@ -84,6 +93,7 @@ class Network:
         if node.node_id in self._nodes:
             raise ValueError(f"node {node.node_id} registered twice")
         self._nodes[node.node_id] = node
+        self._receiver_cache.clear()
 
     def node(self, node_id: int) -> "ProtocolNode":
         """The protocol node with the given id."""
@@ -141,6 +151,27 @@ class Network:
         """Nodes competing for the channel when *sender* transmits at *level*."""
         return len(self._neighbors_within(sender, level.range_m)) + 1
 
+    def _broadcast_receivers(self, sender: int) -> Tuple[int, ...]:
+        """Registered zone neighbours of *sender*, cached per sender.
+
+        The tuple preserves the zone map's iteration order, so cached and
+        freshly-computed broadcasts deliver in the identical receiver
+        sequence (metrics stay byte-identical).
+        """
+        if self._receiver_cache_version != self.field.topology_version:
+            self._receiver_cache.clear()
+            self._receiver_cache_version = self.field.topology_version
+        receivers = self._receiver_cache.get(sender)
+        if receivers is None:
+            nodes = self._nodes
+            receivers = tuple(
+                other
+                for other in self.zone_map.zone_neighbors(sender)
+                if other in nodes
+            )
+            self._receiver_cache[sender] = receivers
+        return receivers
+
     def _trace(self, label: str, detail=None) -> None:
         if self.trace:
             self.sim.trace_log.record(self.sim.now, "packet", label, detail)
@@ -162,7 +193,8 @@ class Network:
             end = ready_at + timing.airtime_ms
         cost = self.energy_model.tx_cost(packet.size_bytes, level)
         self.metrics.energy.charge(sender, cost.energy_uj, category="tx")
-        self.metrics.record_send(packet.packet_type.value)
+        type_label = packet.packet_type.value
+        self.metrics.record_send(type_label)
         delivery_delay = (end + timing.processing_ms) - self.sim.now
         if not receivers:
             return
@@ -170,10 +202,11 @@ class Network:
         # receiver of a broadcast hears the packet at the same instant, so a
         # single event delivering in receiver order reproduces the exact
         # per-receiver event sequence at a fraction of the calendar traffic.
+        receivers = tuple(receivers)
         self.sim.schedule(
             delivery_delay,
-            lambda rs=tuple(receivers), p=packet: self._deliver_batch(rs, p),
-            name=f"deliver.{packet.packet_type.value}",
+            lambda rs=receivers, p=packet: self._deliver_batch(rs, p),
+            name=self._deliver_names[type_label],
         )
 
     def broadcast(self, sender: int, packet: Packet) -> bool:
@@ -185,12 +218,9 @@ class Network:
             self.metrics.record_drop("sender_failed")
             return False
         level = self.power_table.max_level
-        receivers = [
-            other
-            for other in self.zone_map.zone_neighbors(sender)
-            if other in self._nodes
-        ]
-        self._trace(f"broadcast {packet.label()}")
+        receivers = self._broadcast_receivers(sender)
+        if self.trace:
+            self._trace(f"broadcast {packet.label()}")
         self._transmit(sender, packet, level, receivers)
         return True
 
@@ -219,40 +249,41 @@ class Network:
             level = self.power_table.max_level
         else:
             level = self.power_table.level_for_distance(distance)
-        self._trace(f"unicast {packet.label()} @level{level.index}")
-        self._transmit(sender, packet, level, [receiver])
+        if self.trace:
+            self._trace(f"unicast {packet.label()} @level{level.index}")
+        self._transmit(sender, packet, level, (receiver,))
         return True
 
     # ------------------------------------------------------------------ deliver
 
     def _deliver_batch(self, receivers: Sequence[int], packet: Packet) -> None:
-        """Deliver one transmission to every receiver, in transmit order."""
+        """Deliver one transmission to every receiver, in transmit order.
+
+        Runs once per reception — the hottest loop in the simulation — so
+        the per-transmission invariants (receive cost, packet-type label,
+        the lookups themselves) are hoisted out of the receiver loop and the
+        clone uses the slotted fast copy instead of full construction.
+        """
+        metrics = self.metrics
+        nodes = self._nodes
+        failed = self._failed
+        charge = metrics.energy.charge
+        received = metrics.packets_received
+        rx_cost = self.energy_model.rx_cost(packet.size_bytes)
+        type_label = packet.packet_type.value
         for receiver in receivers:
-            self._deliver(receiver, packet)
+            if receiver in failed:
+                metrics.record_drop("receiver_failed")
+                continue
+            node = nodes.get(receiver)
+            if node is None:
+                metrics.record_drop("unknown_receiver")
+                continue
+            charge(receiver, rx_cost, category="rx")
+            received[type_label] += 1
+            node.on_packet(packet.received_copy(receiver))
 
     def _deliver(self, receiver: int, packet: Packet) -> None:
-        if self.is_failed(receiver):
-            self.metrics.record_drop("receiver_failed")
-            return
-        node = self._nodes.get(receiver)
-        if node is None:
-            self.metrics.record_drop("unknown_receiver")
-            return
-        self.metrics.energy.charge(
-            receiver, self.energy_model.rx_cost(packet.size_bytes), category="rx"
-        )
-        self.metrics.record_receive(packet.packet_type.value)
-        delivered = Packet(
-            packet_type=packet.packet_type,
-            descriptor=packet.descriptor,
-            sender=packet.sender,
-            receiver=receiver,
-            origin=packet.origin,
-            final_target=packet.final_target,
-            size_bytes=packet.size_bytes,
-            item=packet.item,
-            hop_count=packet.hop_count + 1,
-            multi_hop=packet.multi_hop,
-            created_at_ms=packet.created_at_ms,
-        )
-        node.on_packet(delivered)
+        """Deliver to a single receiver (kept for tests/diagnostics; the
+        simulation path goes through :meth:`_deliver_batch`)."""
+        self._deliver_batch((receiver,), packet)

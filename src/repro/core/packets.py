@@ -28,7 +28,7 @@ class PacketType(Enum):
     DATA = "DATA"
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A packet in flight.
 
@@ -90,6 +90,31 @@ class Packet:
             multi_hop=multi_hop,
             created_at_ms=self.created_at_ms,
         )
+
+    def received_copy(self, receiver: int) -> "Packet":
+        """The per-receiver delivery clone (hot path).
+
+        One clone is handed to every receiver of a transmission, so this is
+        called once per reception — the single most frequent allocation in a
+        run.  It bypasses dataclass construction (``__init__`` +
+        ``__post_init__`` validation) with direct slot assignment; the
+        template packet was validated when it was built, and a received copy
+        only re-addresses the hop and bumps the hop count.
+        """
+        clone = object.__new__(Packet)
+        clone.packet_type = self.packet_type
+        clone.descriptor = self.descriptor
+        clone.sender = self.sender
+        clone.receiver = receiver
+        clone.origin = self.origin
+        clone.final_target = self.final_target
+        clone.size_bytes = self.size_bytes
+        clone.item = self.item
+        clone.hop_count = self.hop_count + 1
+        clone.multi_hop = self.multi_hop
+        clone.created_at_ms = self.created_at_ms
+        clone.packet_id = next(_packet_counter)
+        return clone
 
     def label(self) -> str:
         """Short human-readable description for traces."""

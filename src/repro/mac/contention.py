@@ -13,11 +13,23 @@ from abc import ABC, abstractmethod
 
 
 class ContentionModel(ABC):
-    """Maps the number of contending nodes to an expected access delay (ms)."""
+    """Maps the number of contending nodes to an expected access delay (ms).
+
+    Contract: :meth:`access_delay_ms` must be a **pure function** of
+    *contenders* — no internal state, clock or RNG dependence.  The MAC delay
+    model memoises its value per ``(size, contenders)`` on the simulation's
+    hottest path (:meth:`repro.mac.delay.MacDelayModel.timing`), so a
+    stateful plugin model would silently be evaluated once and frozen.
+    Randomness belongs in the backoff (which is drawn fresh on every call),
+    not in the contention model.
+    """
 
     @abstractmethod
     def access_delay_ms(self, contenders: int) -> float:
-        """Expected channel-access delay with *contenders* nodes in range."""
+        """Expected channel-access delay with *contenders* nodes in range.
+
+        Must be pure (see the class contract): same *contenders*, same delay.
+        """
 
     def _validate(self, contenders: int) -> None:
         if contenders < 0:

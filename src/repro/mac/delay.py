@@ -13,13 +13,13 @@ plus, in the simulation, a random slotted backoff drawn uniformly from
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from repro.mac.contention import ContentionModel, QuadraticContention
 from repro.sim.rng import RandomStreams
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransmissionTiming:
     """Breakdown of a single transmission's latency (all milliseconds)."""
 
@@ -78,6 +78,13 @@ class MacDelayModel:
         self.t_tx_per_byte_ms = t_tx_per_byte_ms
         self.t_proc_ms = t_proc_ms
         self.rng = rng
+        # The same handful of (size, contenders) pairs recurs across every
+        # transmission of a run, so the deterministic timing components are
+        # memoised.  The random backoff is *never* memoised: each call must
+        # draw from the RNG stream exactly as an unmemoised model would, or
+        # metrics stop being byte-identical.
+        self._deterministic_memo: Dict[Tuple[int, int], Tuple[float, float]] = {}
+        self._timing_memo: Dict[Tuple[int, int], TransmissionTiming] = {}
 
     def backoff_ms(self, contenders: Optional[int] = None) -> float:
         """Draw a random slotted backoff (0 when no RNG is attached).
@@ -106,16 +113,44 @@ class MacDelayModel:
         return size_bytes * self.t_tx_per_byte_ms
 
     def timing(self, size_bytes: int, contenders: int) -> TransmissionTiming:
-        """Latency breakdown for one transmission.
+        """Latency breakdown for one transmission (memoised hot path).
+
+        Contention and airtime are pure functions of ``(size_bytes,
+        contenders)`` — purity is part of the
+        :class:`~repro.mac.contention.ContentionModel` contract — and are
+        cached after the first computation; with no RNG attached the whole
+        (immutable) breakdown is cached.  With an RNG the backoff is drawn
+        fresh on every call, preserving the exact draw sequence of an
+        unmemoised model.
 
         Args:
             size_bytes: Packet size.
             contenders: Number of nodes within the transmission radius used,
                 i.e. the nodes competing for the channel.
         """
+        key = (size_bytes, contenders)
+        if self.rng is None:
+            cached = self._timing_memo.get(key)
+            if cached is None:
+                cached = TransmissionTiming(
+                    contention_ms=self.contention.access_delay_ms(contenders),
+                    backoff_ms=self.backoff_ms(contenders),
+                    airtime_ms=self.airtime_ms(size_bytes),
+                    processing_ms=self.t_proc_ms,
+                )
+                self._timing_memo[key] = cached
+            return cached
+        deterministic = self._deterministic_memo.get(key)
+        if deterministic is None:
+            deterministic = (
+                self.contention.access_delay_ms(contenders),
+                self.airtime_ms(size_bytes),
+            )
+            self._deterministic_memo[key] = deterministic
+        contention_ms, airtime_ms = deterministic
         return TransmissionTiming(
-            contention_ms=self.contention.access_delay_ms(contenders),
+            contention_ms=contention_ms,
             backoff_ms=self.backoff_ms(contenders),
-            airtime_ms=self.airtime_ms(size_bytes),
+            airtime_ms=airtime_ms,
             processing_ms=self.t_proc_ms,
         )

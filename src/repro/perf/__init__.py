@@ -1,0 +1,40 @@
+"""Performance tracking: named kernel benchmarks and their persistent records.
+
+``repro bench`` (see :mod:`repro.cli`) runs a named benchmark scenario —
+a registered scenario matrix executed serially in-process — and appends a
+schema-versioned record (events/sec, wall time, canonical result digest, git
+metadata) to ``BENCH_kernel.json``, giving every future optimisation PR a
+trajectory to regress against.
+"""
+
+from repro.perf.bench import (
+    BENCH_SCHEMA_KEY,
+    BENCH_SCHEMA_VERSION,
+    DEFAULT_BENCH_PATH,
+    BenchScenario,
+    available_benchmarks,
+    get_benchmark,
+    register_benchmark,
+    run_benchmark,
+)
+from repro.perf.schema import (
+    BenchValidationError,
+    append_bench_record,
+    load_bench_records,
+    validate_bench_record,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_KEY",
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_BENCH_PATH",
+    "BenchScenario",
+    "BenchValidationError",
+    "append_bench_record",
+    "available_benchmarks",
+    "get_benchmark",
+    "load_bench_records",
+    "register_benchmark",
+    "run_benchmark",
+    "validate_bench_record",
+]

@@ -1,0 +1,198 @@
+"""Named benchmark scenarios and the in-process benchmark harness.
+
+A :class:`BenchScenario` names a registered scenario matrix (plus a scale and
+an optional job cap) as a *reproducible unit of kernel work*.  Benchmarks run
+serially in-process — no worker pool, no IPC — so the measured wall time is
+the simulation kernel's, not the executor's.
+
+Each run produces one schema-versioned record (a plain dict, see
+:mod:`repro.perf.schema`) carrying:
+
+* throughput — total events processed, wall time, events/sec,
+* a ``canonical_digest`` — SHA-256 over the run records' ``canonical_json``
+  renderings in job order, so a perf regression check doubles as a
+  byte-identity check: optimisations must move wall time without moving the
+  digest,
+* provenance — git describe/commit, python version, timestamp.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import platform
+import subprocess
+import time
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import Dict, List, Optional, Tuple
+
+from repro.perf.schema import BENCH_SCHEMA_KEY, BENCH_SCHEMA_VERSION
+
+#: Default trajectory file benchmark records are appended to.
+DEFAULT_BENCH_PATH = "BENCH_kernel.json"
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """A named, reproducible benchmark workload.
+
+    Attributes:
+        name: Registry name (``repro bench <name>``).
+        matrix: Registered scenario-matrix name to expand.
+        scale: Figure scale preset (``"bench"`` or ``"paper"``).
+        max_jobs: Run only the first N expanded jobs (quick smoke modes).
+        description: One-line human description for ``repro bench --list``.
+    """
+
+    name: str
+    matrix: str
+    scale: str = "bench"
+    max_jobs: Optional[int] = None
+    description: str = ""
+
+    def jobs(self) -> List:
+        """Expand the matrix into the jobs this benchmark runs."""
+        from repro.experiments import figures
+        from repro.experiments.matrix import get_matrix
+
+        scale = (
+            figures.paper_scale() if self.scale == "paper" else figures.bench_scale()
+        )
+        jobs = get_matrix(self.matrix, scale=scale).expand()
+        if self.max_jobs is not None:
+            jobs = jobs[: self.max_jobs]
+        return jobs
+
+
+_BENCHMARKS: Dict[str, BenchScenario] = {}
+
+
+def register_benchmark(scenario: BenchScenario, replace: bool = False) -> BenchScenario:
+    """Register *scenario* under its name; returns it.
+
+    Raises:
+        ValueError: When the name is taken and *replace* is false.
+    """
+    if scenario.name in _BENCHMARKS and not replace:
+        raise ValueError(f"benchmark {scenario.name!r} is already registered")
+    _BENCHMARKS[scenario.name] = scenario
+    return scenario
+
+
+def available_benchmarks() -> List[str]:
+    """Sorted names of every registered benchmark."""
+    return sorted(_BENCHMARKS)
+
+
+def get_benchmark(name: str) -> BenchScenario:
+    """The registered benchmark called *name*.
+
+    Raises:
+        KeyError: With the known names when *name* is not registered.
+    """
+    try:
+        return _BENCHMARKS[name]
+    except KeyError:
+        known = ", ".join(available_benchmarks())
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+
+
+#: Name of the quick smoke benchmark (``repro bench --quick``; CI runs it).
+QUICK_BENCHMARK = "quick"
+
+register_benchmark(
+    BenchScenario(
+        name="fig06",
+        matrix="fig06",
+        description="fig06 energy-vs-nodes bench grid, serial (the acceptance benchmark)",
+    )
+)
+register_benchmark(
+    BenchScenario(
+        name="fig10-failures",
+        matrix="fig10-failures",
+        description="fig10 delay-under-failures bench grid, serial",
+    )
+)
+register_benchmark(
+    BenchScenario(
+        name=QUICK_BENCHMARK,
+        matrix="fig06",
+        max_jobs=2,
+        description="first two fig06 jobs (16 nodes, both protocols) — CI smoke",
+    )
+)
+
+
+# --------------------------------------------------------------------- harness
+
+
+def git_metadata() -> Optional[Dict[str, str]]:
+    """``git describe``/commit of the working tree, or ``None`` outside git."""
+
+    def _git(*args: str) -> str:
+        return subprocess.run(
+            ("git", *args), capture_output=True, text=True, check=True, timeout=10
+        ).stdout.strip()
+
+    try:
+        return {
+            "describe": _git("describe", "--always", "--dirty"),
+            "commit": _git("rev-parse", "HEAD"),
+        }
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def run_benchmark(scenario: BenchScenario) -> Dict[str, object]:
+    """Run *scenario* serially in-process and return its bench record.
+
+    The returned dict is schema-versioned and validates under
+    :func:`repro.perf.schema.validate_bench_record`.
+    """
+    from repro.experiments.runner import ExperimentRunner
+
+    jobs = scenario.jobs()
+    canonical: List[str] = []
+    total_events = 0
+    total_sim_time_ms = 0.0
+    started = time.perf_counter()
+    for job in jobs:
+        runner = ExperimentRunner(job.spec)
+        record = runner.run_record(key=job.key, axes=job.axes)
+        assert runner.sim is not None
+        total_events += runner.sim.events_processed
+        total_sim_time_ms += record.sim_time_ms
+        canonical.append(record.canonical_json())
+    wall_time_s = time.perf_counter() - started
+    digest = hashlib.sha256("\n".join(canonical).encode("utf-8")).hexdigest()
+    return {
+        BENCH_SCHEMA_KEY: BENCH_SCHEMA_VERSION,
+        "benchmark": scenario.name,
+        "matrix": scenario.matrix,
+        "scale": scenario.scale,
+        "jobs": len(jobs),
+        "events_processed": total_events,
+        "sim_time_ms": total_sim_time_ms,
+        "wall_time_s": wall_time_s,
+        "events_per_sec": (total_events / wall_time_s) if wall_time_s > 0 else 0.0,
+        "canonical_digest": digest,
+        "git": git_metadata(),
+        "python_version": platform.python_version(),
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+
+
+def format_bench_record(record: Dict[str, object]) -> List[str]:
+    """Human-readable summary lines of a bench record (CLI output)."""
+    git = record.get("git") or {}
+    describe = git.get("describe", "-") if isinstance(git, dict) else "-"
+    return [
+        f"benchmark {record['benchmark']} "
+        f"(matrix={record['matrix']}, scale={record['scale']}, jobs={record['jobs']})",
+        f"  events processed   {record['events_processed']}",
+        f"  wall time          {record['wall_time_s']:.2f} s",
+        f"  events/sec         {record['events_per_sec']:.0f}",
+        f"  canonical digest   {str(record['canonical_digest'])[:16]}…",
+        f"  git                {describe}",
+    ]

@@ -1,0 +1,112 @@
+"""Schema and persistence of benchmark records.
+
+``BENCH_kernel.json`` is a JSON array of bench records, appended to by
+``repro bench``.  Every record carries its own schema version under
+:data:`BENCH_SCHEMA_KEY`; :func:`validate_bench_record` is the single
+validation gate (the CLI validates before appending, CI validates the emitted
+file, and tests validate the harness output).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+#: Version of the serialized bench-record schema.  Bump whenever the record
+#: layout changes incompatibly (same policy as ``RESULTS_SCHEMA_VERSION``).
+BENCH_SCHEMA_VERSION = 1
+
+#: Key carrying the schema version inside each bench record.
+BENCH_SCHEMA_KEY = "bench_schema_version"
+
+#: Required fields and their accepted types (``git`` may be None when the
+#: benchmark runs outside a git checkout).
+_REQUIRED_FIELDS: Dict[str, tuple] = {
+    BENCH_SCHEMA_KEY: (int,),
+    "benchmark": (str,),
+    "matrix": (str,),
+    "scale": (str,),
+    "jobs": (int,),
+    "events_processed": (int,),
+    "sim_time_ms": (int, float),
+    "wall_time_s": (int, float),
+    "events_per_sec": (int, float),
+    "canonical_digest": (str,),
+    "git": (dict, type(None)),
+    "python_version": (str,),
+    "timestamp_utc": (str,),
+}
+
+
+class BenchValidationError(ValueError):
+    """A bench record (or bench file) failed validation."""
+
+
+def validate_bench_record(record: object) -> Dict[str, object]:
+    """Validate one bench record; returns it on success.
+
+    Raises:
+        BenchValidationError: On a non-dict payload, wrong schema version,
+            missing/unknown keys or wrongly-typed values.
+    """
+    if not isinstance(record, dict):
+        raise BenchValidationError(
+            f"bench record must be a mapping, got {type(record).__name__}"
+        )
+    version = record.get(BENCH_SCHEMA_KEY)
+    if version != BENCH_SCHEMA_VERSION:
+        raise BenchValidationError(
+            f"unsupported bench schema version {version!r}; "
+            f"this build reads version {BENCH_SCHEMA_VERSION}"
+        )
+    missing = sorted(set(_REQUIRED_FIELDS) - set(record))
+    if missing:
+        raise BenchValidationError(f"bench record is missing keys {missing}")
+    unknown = sorted(set(record) - set(_REQUIRED_FIELDS))
+    if unknown:
+        raise BenchValidationError(
+            f"unknown bench record keys {unknown}; "
+            f"known keys: {sorted(_REQUIRED_FIELDS)}"
+        )
+    for key, types in _REQUIRED_FIELDS.items():
+        if not isinstance(record[key], types):
+            expected = "/".join(t.__name__ for t in types)
+            raise BenchValidationError(
+                f"bench record field {key!r} must be {expected}, "
+                f"got {type(record[key]).__name__}"
+            )
+    if record["wall_time_s"] < 0 or record["events_processed"] < 0:
+        raise BenchValidationError("bench throughput fields must be non-negative")
+    return record  # type: ignore[return-value]
+
+
+def load_bench_records(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Every record in the bench file at *path* (``[]`` when absent).
+
+    Raises:
+        BenchValidationError: When the file is not a JSON array of valid
+            bench records.
+    """
+    path = Path(path)
+    if not path.is_file():
+        return []
+    try:
+        data = json.loads(path.read_text())
+    except ValueError as exc:
+        raise BenchValidationError(f"unreadable bench file {path}: {exc}") from exc
+    if not isinstance(data, list):
+        raise BenchValidationError(
+            f"bench file {path} must hold a JSON array of records"
+        )
+    return [validate_bench_record(record) for record in data]
+
+
+def append_bench_record(
+    path: Union[str, Path], record: Dict[str, object]
+) -> List[Dict[str, object]]:
+    """Validate *record*, append it to the bench file and return all records."""
+    records = load_bench_records(path)
+    records.append(validate_bench_record(record))
+    Path(path).write_text(json.dumps(records, sort_keys=True, indent=1) + "\n")
+    return records

@@ -26,7 +26,7 @@ import numpy as np
 from repro.radio.power import PowerLevel, PowerTable
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransmissionCost:
     """Energy and airtime of a single transmission.
 
@@ -69,7 +69,9 @@ class EnergyModel:
             raise ValueError(f"rx power must be non-negative, got {self.rx_power_mw}")
         # Costs depend only on (size, level) and both are immutable, so the
         # per-packet accounting on the simulation's hottest path (one charge
-        # per transmission and per reception) is memoised.
+        # per transmission and per reception) is memoised.  The level's power
+        # is part of the key so ad-hoc levels that reuse an index (tests,
+        # hand-built tables) can never alias a cached entry.
         self._tx_memo: Dict[tuple, TransmissionCost] = {}
         self._rx_memo: Dict[int, float] = {}
 

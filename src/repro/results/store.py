@@ -18,11 +18,19 @@ Raw metrics (per-delivery delays, per-node energy, full traffic counters) are
 deliberately *not* part of a record: a producer may attach them as a blob,
 which lands in ``raw/`` and is referenced by ``record.raw_ref`` —
 :meth:`RunStore.load_raw` reads it back on demand.
+
+The manifest of stores written by this build additionally carries a
+**fingerprint index** — ``spec_fingerprint -> [[shard, byte offset], ...]`` —
+so fingerprint-keyed reads (:meth:`RunStore.records_by_fingerprint`,
+``query(spec_fingerprint=...)``) seek straight to the matching lines instead
+of scanning every shard.  Stores written before the index existed simply lack
+the key and fall back to the full scan: old run directories stay readable.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
@@ -36,6 +44,11 @@ from repro.results.record import (
 MANIFEST_NAME = "manifest.json"
 SHARD_DIR = "shards"
 RAW_DIR = "raw"
+
+#: Manifest key of the ``spec_fingerprint -> [[shard, byte offset], ...]``
+#: index.  Absent from stores written before the index existed (those are
+#: read via the full-scan fallback and are never partially indexed).
+INDEX_KEY = "fingerprint_index"
 
 
 class RunStoreError(ValueError):
@@ -59,6 +72,10 @@ class RunStore:
         self.records_per_shard = records_per_shard
         self._shard_index: Optional[int] = None
         self._shard_count = 0
+        # fingerprint -> [[shard, byte offset], ...]; None means "no index"
+        # (legacy store, or not loaded yet — see _load_index).
+        self._index: Optional[Dict[str, List[List[int]]]] = None
+        self._index_loaded = False
 
     # ------------------------------------------------------------- layout
 
@@ -81,31 +98,71 @@ class RunStore:
 
     # ----------------------------------------------------------- manifest
 
-    def _check_or_write_manifest(self) -> None:
+    def _read_manifest(self) -> Optional[Dict[str, object]]:
+        """Parsed, version-checked manifest, or ``None`` when absent."""
         manifest_path = self.root / MANIFEST_NAME
-        if manifest_path.is_file():
-            try:
-                manifest = json.loads(manifest_path.read_text())
-            except ValueError as exc:
-                raise RunStoreError(f"unreadable manifest {manifest_path}: {exc}") from exc
-            version = manifest.get(RECORD_SCHEMA_KEY)
-            if version != RESULTS_SCHEMA_VERSION:
-                raise RunStoreError(
-                    f"run store {self.root} was written under record schema "
-                    f"{version!r}; this build reads {RESULTS_SCHEMA_VERSION}"
-                )
-            return
-        self.root.mkdir(parents=True, exist_ok=True)
-        manifest_path.write_text(
-            json.dumps(
-                {
-                    RECORD_SCHEMA_KEY: RESULTS_SCHEMA_VERSION,
-                    "records_per_shard": self.records_per_shard,
-                },
-                sort_keys=True,
-                indent=1,
+        if not manifest_path.is_file():
+            return None
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except ValueError as exc:
+            raise RunStoreError(f"unreadable manifest {manifest_path}: {exc}") from exc
+        version = manifest.get(RECORD_SCHEMA_KEY)
+        if version != RESULTS_SCHEMA_VERSION:
+            raise RunStoreError(
+                f"run store {self.root} was written under record schema "
+                f"{version!r}; this build reads {RESULTS_SCHEMA_VERSION}"
             )
-        )
+        return manifest
+
+    def _set_index_from_manifest(self, manifest: Optional[Dict[str, object]]) -> None:
+        """Adopt the manifest's fingerprint index (idempotent).
+
+        A manifest without the key is a legacy store: never build a partial
+        index over it — its older records would be missing from indexed reads.
+        """
+        if self._index_loaded:
+            return
+        index = manifest.get(INDEX_KEY) if manifest else None
+        self._index = dict(index) if isinstance(index, dict) else None
+        self._index_loaded = True
+
+    def _check_or_write_manifest(self) -> None:
+        manifest = self._read_manifest()
+        if manifest is not None:
+            self._set_index_from_manifest(manifest)
+            return
+        # Fresh store: index from the first record on.  A manifest-less
+        # directory that already has shards is treated as legacy — an index
+        # started now would silently miss its existing records.
+        self._index = {} if not self.shard_paths() else None
+        self._index_loaded = True
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._write_manifest()
+
+    def _write_manifest(self) -> None:
+        # Atomic replace: the manifest is rewritten on every indexed append,
+        # and a kill mid-write must never leave a truncated manifest behind
+        # (an interrupted fleet's run directory stays readable).  A kill
+        # between the shard append and this replace costs at most the last
+        # record's index entry — full scans (`records()`, axis-only `query`)
+        # still see it.
+        payload: Dict[str, object] = {
+            RECORD_SCHEMA_KEY: RESULTS_SCHEMA_VERSION,
+            "records_per_shard": self.records_per_shard,
+        }
+        if self._index is not None:
+            payload[INDEX_KEY] = self._index
+        manifest_path = self.root / MANIFEST_NAME
+        tmp_path = manifest_path.with_suffix(".json.tmp")
+        tmp_path.write_text(json.dumps(payload, sort_keys=True, indent=1))
+        os.replace(tmp_path, manifest_path)
+
+    def _load_index(self) -> Optional[Dict[str, List[List[int]]]]:
+        """The fingerprint index for reads (``None`` = fall back to scans)."""
+        if not self._index_loaded:
+            self._set_index_from_manifest(self._read_manifest())
+        return self._index
 
     def _locate_tail_shard(self) -> None:
         """Find (or initialise) the shard the next append goes to."""
@@ -140,8 +197,14 @@ class RunStore:
             self._shard_count = 0
         self.shard_dir.mkdir(parents=True, exist_ok=True)
         with self.shard_path(self._shard_index).open("a") as handle:
+            offset = handle.tell()
             handle.write(record.to_json() + "\n")
         self._shard_count += 1
+        if self._index is not None:
+            self._index.setdefault(record.spec_fingerprint, []).append(
+                [self._shard_index, offset]
+            )
+            self._write_manifest()
         return record
 
     # --------------------------------------------------------------- reads
@@ -164,11 +227,53 @@ class RunStore:
     def __len__(self) -> int:
         return sum(1 for _ in self.records())
 
+    def records_by_fingerprint(self, fingerprint: str) -> List[RunRecord]:
+        """Every record whose spec fingerprint is *fingerprint*.
+
+        Indexed stores seek straight to the matching shard lines (the shards
+        are never scanned); legacy stores without the manifest index fall
+        back to streaming every shard.
+        """
+        index = self._load_index()
+        if index is None:
+            return [
+                record
+                for record in self.records()
+                if record.spec_fingerprint == fingerprint
+            ]
+        selected: List[RunRecord] = []
+        locations = index.get(fingerprint, [])
+        # Group by shard so each shard file opens once even when a spec was
+        # appended many times.
+        by_shard: Dict[int, List[int]] = {}
+        for shard, offset in locations:
+            by_shard.setdefault(int(shard), []).append(int(offset))
+        for shard in sorted(by_shard):
+            path = self.shard_path(shard)
+            try:
+                with path.open() as handle:
+                    for offset in sorted(by_shard[shard]):
+                        handle.seek(offset)
+                        line = handle.readline().strip()
+                        try:
+                            selected.append(RunRecord.from_json(line))
+                        except RecordValidationError as exc:
+                            raise RunStoreError(
+                                f"corrupt indexed record at {path} offset "
+                                f"{offset}: {exc}"
+                            ) from exc
+            except OSError as exc:
+                raise RunStoreError(
+                    f"fingerprint index points at unreadable shard {path}: {exc}"
+                ) from exc
+        return selected
+
     def query(
         self,
         protocol: Optional[str] = None,
         scenario: Optional[str] = None,
         metric: Optional[str] = None,
+        spec_fingerprint: Optional[str] = None,
         **axes,
     ) -> Union[List[RunRecord], List[Tuple[RunRecord, float]]]:
         """Filtered records, optionally paired with one metric's values.
@@ -180,11 +285,18 @@ class RunStore:
                 record attribute/property (e.g. ``"energy_per_item_uj"``),
                 silently skipping records that lack it — reports over
                 heterogeneous fleets tolerate partial coverage.
+            spec_fingerprint: Keep only records of this spec fingerprint; on
+                stores with a manifest index this skips the shard scan
+                entirely (see :meth:`records_by_fingerprint`).
             **axes: Grid-coordinate filters, e.g. ``placement="random"`` or
                 ``num_nodes=64`` (matched against ``record.axes``).
         """
+        if spec_fingerprint is not None:
+            candidates = iter(self.records_by_fingerprint(spec_fingerprint))
+        else:
+            candidates = self.records()
         selected = []
-        for record in self.records():
+        for record in candidates:
             if protocol is not None and record.protocol != protocol:
                 continue
             if scenario is not None and record.scenario != scenario:

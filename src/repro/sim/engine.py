@@ -83,8 +83,7 @@ class Simulator:
         """
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        event = Event(time=self._now + delay, action=action, name=name, payload=payload)
-        return self._queue.push(event)
+        return self._queue.push(Event(self._now + delay, action, name, payload))
 
     def schedule_at(
         self,
@@ -98,8 +97,7 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule into the past (time={time}, now={self._now})"
             )
-        event = Event(time=time, action=action, name=name, payload=payload)
-        return self._queue.push(event)
+        return self._queue.push(Event(time, action, name, payload))
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event."""
@@ -129,21 +127,47 @@ class Simulator:
             raise SimulationError("simulator is already running")
         self._running = True
         self._stopped = False
-        processed_this_run = 0
+        queue = self._queue
         try:
+            if max_events is None and stop_when is None and not self.trace_enabled:
+                # Fast path (the overwhelmingly common configuration): one
+                # fused heap traversal per event via pop_due, no per-event
+                # feature checks, and the processed counter flushed once.
+                pop_due = queue.pop_due
+                processed = 0
+                try:
+                    while not self._stopped:
+                        event = pop_due(until)
+                        if event is None:
+                            # bool(queue) is O(1): live events remain, so the
+                            # earliest one fires beyond the horizon.
+                            if until is not None and queue:
+                                self._now = until
+                            break
+                        time = event.time
+                        if time < self._now:
+                            raise SimulationError(
+                                f"event calendar corrupted: event at {time} "
+                                f"earlier than now={self._now}"
+                            )
+                        self._now = time
+                        # pop_due only returns live events and nothing runs
+                        # between pop and fire, so invoke the action directly.
+                        event.action()
+                        processed += 1
+                finally:
+                    self._events_processed += processed
+                return self._now
+            processed_this_run = 0
             while True:
                 if self._stopped:
                     break
                 if max_events is not None and processed_this_run >= max_events:
                     break
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    self._now = until
-                    break
-                event = self._queue.pop()
+                event = queue.pop_due(until)
                 if event is None:
+                    if until is not None and queue:
+                        self._now = until
                     break
                 if event.time < self._now:
                     raise SimulationError(

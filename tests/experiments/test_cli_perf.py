@@ -1,0 +1,148 @@
+"""CLI tests for `repro bench` and `repro run --keep-raw`."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf import load_bench_records, validate_bench_record
+
+
+@pytest.fixture
+def capture():
+    lines = []
+    return lines, lines.append
+
+
+SPEC = {
+    "schema_version": 2,
+    "name": "cli-perf/spin",
+    "protocol": "spin",
+    "workload": "all_to_all",
+    "placement": "grid",
+    "config": {
+        "num_nodes": 9,
+        "packets_per_node": 1,
+        "transmission_radius_m": 20.0,
+        "grid_spacing_m": 5.0,
+        "seed": 3,
+    },
+}
+
+
+def write_spec(tmp_path, payload=SPEC, name="spec.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestBenchCommand:
+    def test_list_names_registered_benchmarks(self, capture):
+        lines, out = capture
+        assert main(["bench", "--list"], out=out) == 0
+        text = "\n".join(lines)
+        assert "fig06" in text
+        assert "quick" in text
+
+    def test_unknown_benchmark_fails_cleanly(self, capture):
+        lines, out = capture
+        assert main(["bench", "nope"], out=out) == 2
+        assert any("unknown benchmark" in line for line in lines)
+
+    def test_name_and_quick_conflict(self, capture):
+        lines, out = capture
+        assert main(["bench", "fig06", "--quick"], out=out) == 2
+        assert any("not both" in line for line in lines)
+
+    def test_quick_appends_a_valid_record(self, capture, tmp_path):
+        lines, out = capture
+        output = tmp_path / "BENCH_kernel.json"
+        assert main(["bench", "--quick", "--output", str(output)], out=out) == 0
+        text = "\n".join(lines)
+        assert "events/sec" in text
+        assert f"record 1 appended to {output}" in text
+        (record,) = load_bench_records(output)
+        validate_bench_record(record)
+        assert record["benchmark"] == "quick"
+        assert record["events_processed"] > 0
+
+    def test_records_accumulate_a_trajectory(self, capture, tmp_path):
+        lines, out = capture
+        output = tmp_path / "BENCH_kernel.json"
+        assert main(["bench", "--quick", "--output", str(output)], out=out) == 0
+        assert main(["bench", "--quick", "--output", str(output)], out=out) == 0
+        records = load_bench_records(output)
+        assert len(records) == 2
+        # Same workload, same kernel: the canonical digest must not move.
+        assert records[0]["canonical_digest"] == records[1]["canonical_digest"]
+
+    def test_no_append_leaves_output_untouched(self, capture, tmp_path):
+        lines, out = capture
+        output = tmp_path / "BENCH_kernel.json"
+        code = main(
+            ["bench", "--quick", "--output", str(output), "--no-append"], out=out
+        )
+        assert code == 0
+        assert not output.exists()
+
+    def test_json_output_is_the_validated_record(self, capture, tmp_path):
+        lines, out = capture
+        output = tmp_path / "BENCH_kernel.json"
+        code = main(
+            ["bench", "--quick", "--output", str(output), "--json"], out=out
+        )
+        assert code == 0
+        # Line 0 is the banner, the last line the append notice; the record
+        # JSON sits in between.
+        payload = json.loads("\n".join(lines[1:-1]))
+        validate_bench_record(payload)
+
+
+class TestKeepRaw:
+    def test_keep_raw_requires_run_dir(self, capture, tmp_path):
+        lines, out = capture
+        path = write_spec(tmp_path)
+        assert main(["run", "--spec", path, "--keep-raw"], out=out) == 2
+        assert any("--run-dir" in line for line in lines)
+
+    def test_keep_raw_rejected_for_batch_runs(self, capture, tmp_path):
+        lines, out = capture
+        path = write_spec(tmp_path)
+        code = main(
+            ["run", "--specs", path, "--keep-raw", "--run-dir", str(tmp_path / "r")],
+            out=out,
+        )
+        assert code == 2
+        assert any("single --spec" in line for line in lines)
+
+    def test_keep_raw_persists_the_raw_blob(self, capture, tmp_path):
+        lines, out = capture
+        run_dir = tmp_path / "run"
+        path = write_spec(tmp_path)
+        code = main(
+            ["run", "--spec", path, "--run-dir", str(run_dir), "--keep-raw"],
+            out=out,
+        )
+        assert code == 0
+        assert any("raw blob" in line for line in lines)
+
+        from repro.results import RunStore
+
+        store = RunStore(run_dir)
+        (record,) = list(store.records())
+        assert record.raw_ref is not None
+        raw = store.load_raw(record)
+        assert raw is not None
+        assert raw["delays_ms"]  # per-delivery detail the record drops
+        assert raw["energy_per_node_uj"]
+
+    def test_without_keep_raw_no_blob_is_stored(self, capture, tmp_path):
+        lines, out = capture
+        run_dir = tmp_path / "run"
+        path = write_spec(tmp_path)
+        assert main(["run", "--spec", path, "--run-dir", str(run_dir)], out=out) == 0
+
+        from repro.results import RunStore
+
+        (record,) = list(RunStore(run_dir).records())
+        assert record.raw_ref is None

@@ -1,0 +1,149 @@
+"""Tests for the kernel benchmark subsystem (`repro.perf`)."""
+
+import json
+
+import pytest
+
+from repro.perf import (
+    BENCH_SCHEMA_KEY,
+    BENCH_SCHEMA_VERSION,
+    BenchScenario,
+    BenchValidationError,
+    append_bench_record,
+    available_benchmarks,
+    get_benchmark,
+    load_bench_records,
+    register_benchmark,
+    run_benchmark,
+    validate_bench_record,
+)
+from repro.perf.bench import QUICK_BENCHMARK, format_bench_record
+
+
+@pytest.fixture(scope="module")
+def quick_record():
+    """One real quick-benchmark run, shared across the module's tests."""
+    return run_benchmark(get_benchmark(QUICK_BENCHMARK))
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        names = available_benchmarks()
+        assert "fig06" in names
+        assert QUICK_BENCHMARK in names
+
+    def test_unknown_benchmark_reports_known_names(self):
+        with pytest.raises(KeyError, match="fig06"):
+            get_benchmark("does-not-exist")
+
+    def test_duplicate_registration_rejected_unless_replace(self):
+        scenario = BenchScenario(name="fig06", matrix="fig06")
+        with pytest.raises(ValueError, match="already registered"):
+            register_benchmark(scenario)
+        assert register_benchmark(scenario, replace=True) is scenario
+
+    def test_quick_scenario_caps_jobs(self):
+        jobs = get_benchmark(QUICK_BENCHMARK).jobs()
+        assert len(jobs) == 2
+        assert {job.protocol for job in jobs} == {"spms", "spin"}
+
+
+class TestHarness:
+    def test_record_validates_under_the_schema(self, quick_record):
+        assert validate_bench_record(quick_record) is quick_record
+        assert quick_record[BENCH_SCHEMA_KEY] == BENCH_SCHEMA_VERSION
+        assert quick_record["jobs"] == 2
+        assert quick_record["events_processed"] > 0
+        assert quick_record["wall_time_s"] > 0
+        assert quick_record["events_per_sec"] > 0
+
+    def test_canonical_digest_is_deterministic(self, quick_record):
+        again = run_benchmark(get_benchmark(QUICK_BENCHMARK))
+        # The digest is over canonical_json (volatile fields excluded), so a
+        # re-run must reproduce it bit-for-bit; the wall time may differ.
+        assert again["canonical_digest"] == quick_record["canonical_digest"]
+        assert again["events_processed"] == quick_record["events_processed"]
+
+    def test_format_lines_mention_throughput(self, quick_record):
+        text = "\n".join(format_bench_record(quick_record))
+        assert "events/sec" in text
+        assert "wall time" in text
+
+
+class TestSchemaValidation:
+    def _valid(self, quick_record):
+        return dict(quick_record)
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(BenchValidationError, match="mapping"):
+            validate_bench_record(["not", "a", "record"])
+
+    def test_wrong_schema_version_rejected(self, quick_record):
+        bad = self._valid(quick_record)
+        bad[BENCH_SCHEMA_KEY] = BENCH_SCHEMA_VERSION + 1
+        with pytest.raises(BenchValidationError, match="schema version"):
+            validate_bench_record(bad)
+
+    def test_missing_key_rejected(self, quick_record):
+        bad = self._valid(quick_record)
+        del bad["events_per_sec"]
+        with pytest.raises(BenchValidationError, match="missing"):
+            validate_bench_record(bad)
+
+    def test_unknown_key_rejected(self, quick_record):
+        bad = self._valid(quick_record)
+        bad["surprise"] = 1
+        with pytest.raises(BenchValidationError, match="unknown"):
+            validate_bench_record(bad)
+
+    def test_wrongly_typed_field_rejected(self, quick_record):
+        bad = self._valid(quick_record)
+        bad["wall_time_s"] = "fast"
+        with pytest.raises(BenchValidationError, match="wall_time_s"):
+            validate_bench_record(bad)
+
+    def test_negative_throughput_rejected(self, quick_record):
+        bad = self._valid(quick_record)
+        bad["wall_time_s"] = -1.0
+        with pytest.raises(BenchValidationError, match="non-negative"):
+            validate_bench_record(bad)
+
+    def test_git_may_be_none(self, quick_record):
+        record = self._valid(quick_record)
+        record["git"] = None
+        assert validate_bench_record(record) is record
+
+
+class TestPersistence:
+    def test_append_and_load_round_trip(self, quick_record, tmp_path):
+        path = tmp_path / "BENCH_kernel.json"
+        first = append_bench_record(path, dict(quick_record))
+        assert len(first) == 1
+        second = append_bench_record(path, dict(quick_record))
+        assert len(second) == 2
+        loaded = load_bench_records(path)
+        assert loaded == second
+        # The file itself is plain JSON, one array of records.
+        data = json.loads(path.read_text())
+        assert isinstance(data, list) and len(data) == 2
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert load_bench_records(tmp_path / "absent.json") == []
+
+    def test_append_validates_before_writing(self, tmp_path):
+        path = tmp_path / "BENCH_kernel.json"
+        with pytest.raises(BenchValidationError):
+            append_bench_record(path, {"nope": True})
+        assert not path.exists()
+
+    def test_non_array_file_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_kernel.json"
+        path.write_text(json.dumps({"records": []}))
+        with pytest.raises(BenchValidationError, match="array"):
+            load_bench_records(path)
+
+    def test_corrupt_json_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_kernel.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchValidationError, match="unreadable"):
+            load_bench_records(path)

@@ -1,0 +1,131 @@
+"""Tests for the RunStore fingerprint -> shard-offset manifest index."""
+
+import json
+
+import pytest
+
+from repro.results import RunStore, RunStoreError
+from repro.results.store import INDEX_KEY, MANIFEST_NAME
+
+from tests.results.test_record import make_record
+
+
+@pytest.fixture
+def store(tmp_path):
+    return RunStore(tmp_path / "run", records_per_shard=2)
+
+
+def fp(i: int) -> str:
+    return f"{i:02d}" * 32
+
+
+def fill(store, count):
+    return [
+        store.append(
+            make_record(
+                key=f"t/num_nodes={i}/spms",
+                spec_fingerprint=fp(i),
+                axes={"num_nodes": i},
+            )
+        )
+        for i in range(count)
+    ]
+
+
+class TestIndexWrites:
+    def test_fresh_store_manifest_carries_the_index(self, store):
+        fill(store, 5)  # records_per_shard=2 -> shards of 2, 2, 1
+        manifest = json.loads((store.root / MANIFEST_NAME).read_text())
+        index = manifest[INDEX_KEY]
+        assert sorted(index) == sorted(fp(i) for i in range(5))
+        # One location per record, pointing at the right shard.
+        assert index[fp(0)] == [[0, 0]]
+        (shard, offset), = index[fp(4)]
+        assert shard == 2 and offset == 0
+
+    def test_duplicate_fingerprints_accumulate_locations(self, store):
+        record = make_record(spec_fingerprint=fp(1))
+        store.append(record)
+        store.append(record)
+        manifest = json.loads((store.root / MANIFEST_NAME).read_text())
+        assert len(manifest[INDEX_KEY][fp(1)]) == 2
+
+    def test_reopened_store_keeps_indexing(self, store):
+        fill(store, 3)
+        reopened = RunStore(store.root, records_per_shard=2)
+        reopened.append(make_record(key="later", spec_fingerprint=fp(9)))
+        manifest = json.loads((store.root / MANIFEST_NAME).read_text())
+        assert fp(9) in manifest[INDEX_KEY]
+        assert sorted(manifest[INDEX_KEY]) == sorted([*(fp(i) for i in range(3)), fp(9)])
+
+
+class TestIndexedReads:
+    def test_records_by_fingerprint_matches_scan(self, store):
+        written = fill(store, 5)
+        for i, record in enumerate(written):
+            (got,) = store.records_by_fingerprint(fp(i))
+            assert got.to_dict() == record.to_dict()
+        assert store.records_by_fingerprint("no" * 32) == []
+
+    def test_indexed_read_does_not_scan_other_shards(self, store, tmp_path):
+        fill(store, 5)
+        # Corrupt every shard except the one fp(4) lives in; an indexed read
+        # must still succeed because only its own shard is opened.
+        for path in store.shard_paths()[:-1]:
+            path.write_text("{corrupt\n")
+        fresh = RunStore(store.root, records_per_shard=2)
+        (got,) = fresh.records_by_fingerprint(fp(4))
+        assert got.axes == {"num_nodes": 4}
+        with pytest.raises(RunStoreError):
+            list(fresh.records())
+
+    def test_query_by_fingerprint_applies_remaining_filters(self, store):
+        fill(store, 4)
+        assert len(store.query(spec_fingerprint=fp(2))) == 1
+        assert store.query(spec_fingerprint=fp(2), protocol="spin") == []
+        pairs = store.query(spec_fingerprint=fp(2), metric="energy_per_item_uj")
+        assert len(pairs) == 1
+        record, value = pairs[0]
+        assert value == record.energy_per_item_uj
+
+
+class TestLegacyStores:
+    def _make_legacy(self, tmp_path):
+        """A store whose manifest predates the index (the pre-PR-4 layout)."""
+        root = tmp_path / "legacy"
+        store = RunStore(root, records_per_shard=2)
+        fill(store, 3)
+        manifest = json.loads((root / MANIFEST_NAME).read_text())
+        manifest.pop(INDEX_KEY)
+        (root / MANIFEST_NAME).write_text(json.dumps(manifest))
+        return root
+
+    def test_legacy_store_reads_fall_back_to_scanning(self, tmp_path):
+        root = self._make_legacy(tmp_path)
+        store = RunStore(root, records_per_shard=2)
+        (got,) = store.records_by_fingerprint(fp(1))
+        assert got.axes == {"num_nodes": 1}
+        assert len(store.query(spec_fingerprint=fp(0))) == 1
+
+    def test_appends_to_legacy_store_never_build_a_partial_index(self, tmp_path):
+        root = self._make_legacy(tmp_path)
+        store = RunStore(root, records_per_shard=2)
+        store.append(make_record(key="later", spec_fingerprint=fp(9)))
+        manifest = json.loads((root / MANIFEST_NAME).read_text())
+        # Indexing only fp(9) would hide the three legacy records from
+        # indexed reads, so the store must stay scan-only.
+        assert INDEX_KEY not in manifest
+        assert len(list(store.records())) == 4
+        (got,) = store.records_by_fingerprint(fp(9))
+        assert got.key == "later"
+
+    def test_manifestless_directory_with_shards_stays_legacy(self, tmp_path):
+        root = tmp_path / "run"
+        store = RunStore(root, records_per_shard=2)
+        fill(store, 2)
+        (root / MANIFEST_NAME).unlink()
+        reopened = RunStore(root, records_per_shard=2)
+        reopened.append(make_record(key="later", spec_fingerprint=fp(9)))
+        manifest = json.loads((root / MANIFEST_NAME).read_text())
+        assert INDEX_KEY not in manifest
+        assert len(list(reopened.records())) == 3

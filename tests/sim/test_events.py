@@ -104,6 +104,130 @@ class TestEventQueue:
         assert popped == sorted(times)
         assert len(popped) == len(times)
 
+    def test_live_count_after_cancel_is_exact(self):
+        # Regression for the incremental live counter: len() must stay exact
+        # through cancellations without scanning the heap.
+        queue = EventQueue()
+        events = [queue.push(Event(time=float(i), action=_noop)) for i in range(5)]
+        assert len(queue) == 5
+        events[1].cancel()
+        events[3].cancel()
+        assert len(queue) == 3
+
+    def test_double_cancel_decrements_once(self):
+        queue = EventQueue()
+        event = queue.push(Event(time=1.0, action=_noop))
+        queue.push(Event(time=2.0, action=_noop))
+        event.cancel()
+        event.cancel()
+        queue.cancel(event)
+        assert len(queue) == 1
+
+    def test_cancel_after_pop_does_not_corrupt_count(self):
+        queue = EventQueue()
+        first = queue.push(Event(time=1.0, action=_noop))
+        queue.push(Event(time=2.0, action=_noop))
+        assert queue.pop() is first
+        first.cancel()  # already out of the calendar; must be a no-op
+        assert len(queue) == 1
+        assert queue.pop() is not None
+        assert len(queue) == 0
+
+    def test_cancel_of_unpushed_event_is_harmless(self):
+        queue = EventQueue()
+        loose = Event(time=1.0, action=_noop)
+        loose.cancel()
+        assert len(queue) == 0
+
+    def test_clear_resets_live_count(self):
+        queue = EventQueue()
+        events = [queue.push(Event(time=float(i), action=_noop)) for i in range(3)]
+        queue.clear()
+        assert len(queue) == 0
+        assert not queue
+        # Cancelling events from the cleared calendar must not underflow.
+        for event in events:
+            event.cancel()
+        assert len(queue) == 0
+
+    def test_pop_decrements_live_count(self):
+        queue = EventQueue()
+        queue.push(Event(time=1.0, action=_noop))
+        queue.push(Event(time=2.0, action=_noop))
+        queue.pop()
+        assert len(queue) == 1
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(min_value=0.0, max_value=1e3), st.booleans()),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_property_live_count_matches_heap_scan(self, entries):
+        queue = EventQueue()
+        events = [queue.push(Event(time=t, action=_noop)) for t, _ in entries]
+        for event, (_, cancel) in zip(events, entries):
+            if cancel:
+                event.cancel()
+        expected = sum(1 for _, cancel in entries if not cancel)
+        assert len(queue) == expected
+        while queue.pop() is not None:
+            expected -= 1
+            assert len(queue) == expected
+        assert len(queue) == 0
+
+
+class TestPopDue:
+    def test_pop_due_returns_events_up_to_horizon(self):
+        queue = EventQueue()
+        queue.push(Event(time=1.0, action=_noop, name="a"))
+        queue.push(Event(time=5.0, action=_noop, name="b"))
+        assert queue.pop_due(2.0).name == "a"
+        assert queue.pop_due(2.0) is None
+        # The beyond-horizon event stays queued.
+        assert len(queue) == 1
+        assert queue.pop_due(None).name == "b"
+
+    def test_pop_due_event_exactly_at_horizon_fires(self):
+        queue = EventQueue()
+        queue.push(Event(time=2.0, action=_noop, name="edge"))
+        assert queue.pop_due(2.0).name == "edge"
+
+    def test_pop_due_skips_cancelled(self):
+        queue = EventQueue()
+        early = queue.push(Event(time=1.0, action=_noop))
+        queue.push(Event(time=3.0, action=_noop, name="live"))
+        early.cancel()
+        assert queue.pop_due(None).name == "live"
+        assert queue.pop_due(None) is None
+
+    def test_pop_due_empty_returns_none(self):
+        assert EventQueue().pop_due(10.0) is None
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_property_pop_due_equals_peek_then_pop(self, times, horizon):
+        fused, staged = EventQueue(), EventQueue()
+        for t in times:
+            fused.push(Event(time=t, action=_noop))
+            staged.push(Event(time=t, action=_noop))
+        while True:
+            via_fused = fused.pop_due(horizon)
+            next_time = staged.peek_time()
+            via_staged = (
+                staged.pop()
+                if next_time is not None and next_time <= horizon
+                else None
+            )
+            if via_fused is None and via_staged is None:
+                break
+            assert via_fused is not None and via_staged is not None
+            assert via_fused.time == via_staged.time
+        assert len(fused) == len(staged)
+
     @given(
         st.lists(
             st.tuples(st.floats(min_value=0.0, max_value=1e3), st.booleans()),
