@@ -82,7 +82,9 @@ from repro.perf import (
     BenchValidationError,
     append_bench_record,
     available_benchmarks,
+    compare_bench_record,
     get_benchmark,
+    load_bench_records,
     run_benchmark,
 )
 from repro.perf.bench import QUICK_BENCHMARK, format_bench_record
@@ -282,6 +284,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--no-append", action="store_true",
         help="print the record without writing --output",
+    )
+    bench.add_argument(
+        "--compare", action="store_true",
+        help="check the canonical digest against the latest --output record "
+             "of the same benchmark (error exit on drift; CI uses this)",
     )
     bench.add_argument(
         "--json", action="store_true", dest="as_json",
@@ -640,6 +647,20 @@ def _cmd_bench(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     else:
         for line in format_bench_record(record):
             out(line)
+    if args.compare:
+        try:
+            previous = load_bench_records(args.output)
+        except BenchValidationError as exc:
+            out(f"cannot compare against {args.output}: {exc}")
+            return 2
+        matched, compare_lines = compare_bench_record(record, previous)
+        for line in compare_lines:
+            out(line)
+        if matched is False:
+            # A drifted record is not appended: the trajectory stays a chain
+            # of byte-identical baselines a future --compare can trust.
+            out("digest drift: record NOT appended")
+            return 1
     if args.no_append:
         return 0
     try:

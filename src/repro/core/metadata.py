@@ -8,33 +8,99 @@ A :class:`DataDescriptor` is the meta-data; a :class:`DataItem` is the actual
 Descriptors also model *overlap*: two sensors observing overlapping regions
 produce items whose descriptors compare equal for the overlapping part, so a
 node that already holds one never requests the other.
+
+Descriptors are *hash-consed*: :meth:`DataDescriptor.intern` returns one
+canonical instance per ``(name, region)``, so every packet, cache entry and
+protocol-state key for the same meta-data is the *same object*.  Equality and
+hashing stay value-based (a hand-built descriptor still compares equal to the
+interned one), but the hot paths — dict lookups in the protocol state
+machines, :meth:`covers`/:meth:`overlaps` checks in the cache — short-circuit
+on identity and reuse the precomputed hash.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+import weakref
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+Region = Tuple[float, float, float, float]
 
 
-@dataclass(frozen=True)
 class DataDescriptor:
     """Application-level name of a piece of sensor data.
 
-    Attributes:
+    Immutable and slotted.  Attributes:
         name: Opaque identifier, e.g. ``"temp/region-3/t=120"``.
         region: Optional coverage region ``(x_min, y_min, x_max, y_max)``
             allowing overlap detection between descriptors.
     """
 
-    name: str
-    region: Optional[Tuple[float, float, float, float]] = None
+    __slots__ = ("name", "region", "_hash", "__weakref__")
+
+    #: Hash-consing table for :meth:`intern`.  Weak values: descriptors are
+    #: kept alive by the items/packets that reference them, so finished runs
+    #: release their entries instead of accumulating across a sweep.
+    _interned: "weakref.WeakValueDictionary[Tuple[str, Optional[Region]], DataDescriptor]" = (
+        weakref.WeakValueDictionary()
+    )
+
+    def __init__(self, name: str, region: Optional[Region] = None) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "region", region)
+        object.__setattr__(self, "_hash", hash((name, region)))
+
+    @classmethod
+    def intern(cls, name: str, region: Optional[Region] = None) -> "DataDescriptor":
+        """The canonical (hash-consed) descriptor for ``(name, region)``.
+
+        Repeated calls with the same arguments return the identical object,
+        making descriptor comparisons along the protocol hot path identity
+        checks.  Interning is an optimisation only — interned and plain
+        descriptors are interchangeable value-wise.
+        """
+        key = (name, region)
+        cached = cls._interned.get(key)
+        if cached is None:
+            cached = cls(name, region)
+            cls._interned[key] = cached
+        return cached
+
+    # ------------------------------------------------------------- immutability
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError(f"DataDescriptor is immutable (tried to set {key!r})")
+
+    def __delattr__(self, key: str) -> None:
+        raise AttributeError(f"DataDescriptor is immutable (tried to delete {key!r})")
+
+    # ------------------------------------------------------------------- value
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, DataDescriptor):
+            return self.name == other.name and self.region == other.region
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"DataDescriptor(name={self.name!r}, region={self.region!r})"
+
+    def __reduce__(self):
+        # Pickle by value; interning is per-process.
+        return (DataDescriptor, (self.name, self.region))
+
+    # ---------------------------------------------------------------- geometry
 
     def covers(self, other: "DataDescriptor") -> bool:
         """Whether this descriptor's region fully contains *other*'s region.
 
         Descriptors without regions only cover identical names.
         """
-        if self.name == other.name:
+        if self is other or self.name == other.name:
             return True
         if self.region is None or other.region is None:
             return False
@@ -44,13 +110,23 @@ class DataDescriptor:
 
     def overlaps(self, other: "DataDescriptor") -> bool:
         """Whether the two descriptors describe intersecting regions."""
-        if self.name == other.name:
+        if self is other or self.name == other.name:
             return True
         if self.region is None or other.region is None:
             return False
         sx0, sy0, sx1, sy1 = self.region
         ox0, oy0, ox1, oy1 = other.region
         return not (sx1 < ox0 or ox1 < sx0 or sy1 < oy0 or oy1 < sy0)
+
+
+def intern_descriptor(name: str, region: Optional[Region] = None) -> DataDescriptor:
+    """Module-level alias of :meth:`DataDescriptor.intern` (workload hot path).
+
+    The differential-testing oracle (:mod:`tests.protocols`) patches
+    :meth:`DataDescriptor.intern` — and therefore this alias — to plain
+    construction to prove interning never changes results.
+    """
+    return DataDescriptor.intern(name, region)
 
 
 @dataclass(frozen=True)

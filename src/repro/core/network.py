@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.core.packets import Packet, PacketType
+from repro.core.packets import BROADCAST, Packet, PacketType
 from repro.mac.channel import ChannelReservation
 from repro.mac.delay import MacDelayModel
 from repro.metrics.collector import MetricsCollector
@@ -48,6 +48,15 @@ class Network:
             and for unit tests that want deterministic timing).
         trace: When true, every transmission is appended to ``sim.trace_log``.
     """
+
+    #: Protocol-layer fast-path switches.  Class-level so the differential
+    #: harness (tests/protocols) can flip them for a whole oracle run; both
+    #: paths must produce byte-identical metrics and RNG stream positions.
+    ADV_FAST_PATH = True
+    UNICAST_LEVEL_CACHE = True
+
+    #: Cache sentinel distinguishing "never computed" from "out of range".
+    _LEVEL_MISSING = object()
 
     def __init__(
         self,
@@ -80,8 +89,17 @@ class Network:
         # or when registration changes.
         self._receiver_cache: Dict[int, Tuple[int, ...]] = {}
         self._receiver_cache_version = -1
+        # Unicast power-level choice per (sender, receiver): a pure function
+        # of the two positions and the power table, recomputed per packet
+        # before PR 5 (distance + level scan on every REQ/DATA hop).  ``None``
+        # marks an out-of-range pair.  Invalidated when any node moves.
+        self._unicast_levels: Dict[Tuple[int, int], Optional[PowerLevel]] = {}
+        self._unicast_levels_version = -1
         # Per-transmission constants: the packet-type label and the delivery
         # event name are interned once instead of rebuilt per transmission.
+        # The label dict spares the enum ``.value`` descriptor call on every
+        # transmission and every reception.
+        self._type_labels = {t: t.value for t in PacketType}
         self._deliver_names = {t.value: f"deliver.{t.value}" for t in PacketType}
 
     # ------------------------------------------------------------ registration
@@ -182,20 +200,27 @@ class Network:
         self, sender: int, packet: Packet, level: PowerLevel, receivers: Sequence[int]
     ) -> None:
         """Common path for broadcast and unicast transmissions."""
-        timing = self.mac_delay.timing(packet.size_bytes, self._contenders(sender, level))
-        ready_at = self.sim.now + timing.contention_ms + timing.backoff_ms
+        size_bytes = packet.size_bytes
+        mac = self.mac_delay
+        contenders = self._contenders(sender, level)
+        # The memoised deterministic parts plus exactly one backoff draw —
+        # the same RNG call sequence as MacDelayModel.timing, without
+        # constructing a TransmissionTiming per transmission.
+        contention_ms, airtime_ms, processing_ms = mac.delay_parts(size_bytes, contenders)
+        now = self.sim.now
+        ready_at = now + contention_ms + mac.backoff_ms(contenders)
         if self.channel is not None:
             start = self.channel.earliest_start(sender, ready_at)
             self.channel.record_wait(start - ready_at)
             affected = self._neighbors_within(sender, level.range_m) + [sender]
-            end = self.channel.reserve(affected, start, timing.airtime_ms)
+            end = self.channel.reserve(affected, start, airtime_ms)
         else:
-            end = ready_at + timing.airtime_ms
-        cost = self.energy_model.tx_cost(packet.size_bytes, level)
-        self.metrics.energy.charge(sender, cost.energy_uj, category="tx")
-        type_label = packet.packet_type.value
+            end = ready_at + airtime_ms
+        cost = self.energy_model.tx_cost(size_bytes, level)
+        self.metrics.energy.charge(sender, cost.energy_uj, "tx")
+        type_label = self._type_labels[packet.packet_type]
         self.metrics.record_send(type_label)
-        delivery_delay = (end + timing.processing_ms) - self.sim.now
+        delivery_delay = (end + processing_ms) - now
         if not receivers:
             return
         # One fan-out event per transmission (not one per receiver): every
@@ -203,9 +228,21 @@ class Network:
         # single event delivering in receiver order reproduces the exact
         # per-receiver event sequence at a fraction of the calendar traffic.
         receivers = tuple(receivers)
+        if (
+            self.ADV_FAST_PATH
+            and packet.packet_type is PacketType.ADV
+            and packet.receiver == BROADCAST
+        ):
+            # Zone-batched ADV fan-out: advertisements are read-only,
+            # single-hop notifications, so the whole zone shares one packet
+            # instance through the lean on_adv hook (no per-receiver clone,
+            # no type dispatch) — see _deliver_adv_batch.
+            deliver = self._deliver_adv_batch
+        else:
+            deliver = self._deliver_batch
         self.sim.schedule(
             delivery_delay,
-            lambda rs=receivers, p=packet: self._deliver_batch(rs, p),
+            lambda rs=receivers, p=packet, d=deliver: d(rs, p),
             name=self._deliver_names[type_label],
         )
 
@@ -241,14 +278,33 @@ class Network:
         if self.is_failed(sender):
             self.metrics.record_drop("sender_failed")
             return False
-        distance = self.field.distance(sender, receiver)
-        if distance > self.power_table.max_range_m + 1e-9:
-            self.metrics.record_drop("out_of_range")
-            return False
-        if force_max_power:
-            level = self.power_table.max_level
+        if self.UNICAST_LEVEL_CACHE:
+            if self._unicast_levels_version != self.field.topology_version:
+                self._unicast_levels.clear()
+                self._unicast_levels_version = self.field.topology_version
+            key = (sender, receiver)
+            level = self._unicast_levels.get(key, self._LEVEL_MISSING)
+            if level is self._LEVEL_MISSING:
+                distance = self.field.distance(sender, receiver)
+                if distance > self.power_table.max_range_m + 1e-9:
+                    level = None
+                else:
+                    level = self.power_table.level_for_distance(distance)
+                self._unicast_levels[key] = level
+            if level is None:
+                self.metrics.record_drop("out_of_range")
+                return False
+            if force_max_power:
+                level = self.power_table.max_level
         else:
-            level = self.power_table.level_for_distance(distance)
+            distance = self.field.distance(sender, receiver)
+            if distance > self.power_table.max_range_m + 1e-9:
+                self.metrics.record_drop("out_of_range")
+                return False
+            if force_max_power:
+                level = self.power_table.max_level
+            else:
+                level = self.power_table.level_for_distance(distance)
         if self.trace:
             self._trace(f"unicast {packet.label()} @level{level.index}")
         self._transmit(sender, packet, level, (receiver,))
@@ -267,10 +323,10 @@ class Network:
         metrics = self.metrics
         nodes = self._nodes
         failed = self._failed
-        charge = metrics.energy.charge
+        per_node, per_category, per_node_category = metrics.energy.hot_path_accounts()
         received = metrics.packets_received
         rx_cost = self.energy_model.rx_cost(packet.size_bytes)
-        type_label = packet.packet_type.value
+        type_label = self._type_labels[packet.packet_type]
         for receiver in receivers:
             if receiver in failed:
                 metrics.record_drop("receiver_failed")
@@ -279,9 +335,48 @@ class Network:
             if node is None:
                 metrics.record_drop("unknown_receiver")
                 continue
-            charge(receiver, rx_cost, category="rx")
+            # EnergyLedger.charge(receiver, rx_cost, "rx") unrolled: rx_cost
+            # is non-negative by construction, and the three additions happen
+            # in the same order, so the floats are bit-identical.
+            per_node[receiver] += rx_cost
+            per_category["rx"] += rx_cost
+            per_node_category[(receiver, "rx")] += rx_cost
             received[type_label] += 1
             node.on_packet(packet.received_copy(receiver))
+
+    def _deliver_adv_batch(self, receivers: Sequence[int], packet: Packet) -> None:
+        """Deliver one ADV broadcast to the whole zone, in transmit order.
+
+        Advertisement handling is the single hottest protocol path (every
+        node hears every ADV of its zone), and the handlers only *read* the
+        shared descriptor and the advertiser id — so the fan-out hands every
+        receiver the same packet instance through
+        :meth:`ProtocolNode.on_adv` instead of building a per-receiver
+        clone.  Accounting (receive energy, reception counters, drop
+        reasons) is identical to :meth:`_deliver_batch`.
+        """
+        metrics = self.metrics
+        nodes = self._nodes
+        failed = self._failed
+        per_node, per_category, per_node_category = metrics.energy.hot_path_accounts()
+        received = metrics.packets_received
+        rx_cost = self.energy_model.rx_cost(packet.size_bytes)
+        type_label = self._type_labels[packet.packet_type]
+        for receiver in receivers:
+            if receiver in failed:
+                metrics.record_drop("receiver_failed")
+                continue
+            node = nodes.get(receiver)
+            if node is None:
+                metrics.record_drop("unknown_receiver")
+                continue
+            # EnergyLedger.charge(receiver, rx_cost, "rx") unrolled — see
+            # _deliver_batch.
+            per_node[receiver] += rx_cost
+            per_category["rx"] += rx_cost
+            per_node_category[(receiver, "rx")] += rx_cost
+            received[type_label] += 1
+            node.on_adv(packet)
 
     def _deliver(self, receiver: int, packet: Packet) -> None:
         """Deliver to a single receiver (kept for tests/diagnostics; the

@@ -72,6 +72,18 @@ class ProtocolNode(ABC):
     def on_packet(self, packet: Packet) -> None:
         """Called by the network when a packet is delivered to this node."""
 
+    def on_adv(self, packet: Packet) -> None:
+        """Called by the zone-batched ADV fan-out (``Network._deliver_adv_batch``).
+
+        Every receiver of an ADV broadcast is handed the *same* packet
+        instance — advertisement handlers must treat it as read-only.  The
+        default clones and dispatches through :meth:`on_packet`, keeping
+        protocols that do not override this hook exactly on the legacy
+        per-receiver-copy path; SPIN/SPMS override it to skip the clone and
+        the type dispatch on their hottest delivery path.
+        """
+        self.on_packet(packet.received_copy(self.node_id))
+
     def on_failed(self) -> None:
         """Hook invoked when the failure injector takes this node down."""
 

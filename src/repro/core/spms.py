@@ -165,19 +165,23 @@ class SpmsNode(ProtocolNode):
             self._states[descriptor.name] = state
         return state
 
-    def _route_cost_to(self, target: int) -> float:
-        cost = self.routing.route_cost(self.node_id, target)
-        return math.inf if cost is None else cost
-
     def _on_adv(self, packet: Packet) -> None:
         descriptor = packet.descriptor
         advertiser = packet.sender
-        if not self.wants(descriptor, advertiser):
+        # self.wants(descriptor, advertiser) inlined — this runs once per
+        # ADV reception, the most frequent protocol action in a run.
+        if self.cache.has(descriptor):
+            return
+        if not self.interest_model.is_interested(self.node_id, descriptor, advertiser):
             return
         state = self._state_for(descriptor)
         if state.phase is _Phase.DONE:
             return
-        cost = self._route_cost_to(advertiser)
+        # One table lookup serves both queries this handler needs: the cost
+        # of the primary route (``route_cost``) and its next hop
+        # (``next_hop`` with no exclusions).
+        best = self.routing.table(self.node_id).best(advertiser)
+        cost = math.inf if best is None else best.cost
         state.advertisers[advertiser] = cost
         self._update_originators(state, advertiser, cost)
 
@@ -186,7 +190,7 @@ class SpmsNode(ProtocolNode):
             # above) but do not restart negotiation.
             return
 
-        next_hop = self.routing.next_hop(self.node_id, advertiser)
+        next_hop = None if best is None else best.next_hop
         if next_hop == advertiser or next_hop is None:
             # The advertiser is a next-hop neighbour (or we have no routing
             # state for it): request directly at the lowest power level that
@@ -200,6 +204,12 @@ class SpmsNode(ProtocolNode):
                 self._start_tau_adv(state)
             else:  # WAIT_ADV — a closer advertisement resets the timer.
                 self._restart_tau_adv(state)
+
+    #: Zone-batched ADV delivery (``Network._deliver_adv_batch``) jumps
+    #: straight to the handler: it only reads the shared packet's descriptor
+    #: and sender, so the per-receiver clone and type dispatch of the generic
+    #: ``on_packet`` path are pure overhead here.
+    on_adv = _on_adv
 
     def _update_originators(self, state: _ItemState, advertiser: int, cost: float) -> None:
         if state.prone is None:

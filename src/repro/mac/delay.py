@@ -83,8 +83,13 @@ class MacDelayModel:
         # memoised.  The random backoff is *never* memoised: each call must
         # draw from the RNG stream exactly as an unmemoised model would, or
         # metrics stop being byte-identical.
-        self._deterministic_memo: Dict[Tuple[int, int], Tuple[float, float]] = {}
+        self._deterministic_memo: Dict[Tuple[int, int], Tuple[float, float, float]] = {}
         self._timing_memo: Dict[Tuple[int, int], TransmissionTiming] = {}
+        # The backoff stream object, resolved once: every backoff draws from
+        # the same named stream, so the registry lookup is paid only on the
+        # first draw.  Safe across RandomStreams.reset(), which re-seeds
+        # stream objects in place.
+        self._backoff_stream = None
 
     def backoff_ms(self, contenders: Optional[int] = None) -> float:
         """Draw a random slotted backoff (0 when no RNG is attached).
@@ -103,14 +108,41 @@ class MacDelayModel:
             if contenders < 0:
                 raise ValueError(f"contenders must be non-negative, got {contenders}")
             window = max(1, min(self.num_slots, contenders))
-        slots = self.rng.randint(self.BACKOFF_STREAM, 0, window - 1) if window > 1 else 0
-        return slots * self.slot_time_ms
+        if window <= 1:
+            return 0.0
+        stream = self._backoff_stream
+        if stream is None:
+            stream = self.rng.stream(self.BACKOFF_STREAM)
+            self._backoff_stream = stream
+        # Identical draw to ``rng.randint(BACKOFF_STREAM, 0, window - 1)``,
+        # minus the per-call registry lookup.
+        return stream.randint(0, window - 1) * self.slot_time_ms
 
     def airtime_ms(self, size_bytes: int) -> float:
         """Time on air for *size_bytes*."""
         if size_bytes <= 0:
             raise ValueError(f"packet size must be positive, got {size_bytes}")
         return size_bytes * self.t_tx_per_byte_ms
+
+    def delay_parts(self, size_bytes: int, contenders: int) -> Tuple[float, float, float]:
+        """Memoised ``(contention_ms, airtime_ms, processing_ms)`` tuple.
+
+        The deterministic components of :meth:`timing` without the random
+        backoff and without constructing a :class:`TransmissionTiming` — the
+        transmission hot path draws the backoff separately (exactly one
+        :meth:`backoff_ms` call, preserving the RNG stream) and adds the
+        parts inline.
+        """
+        key = (size_bytes, contenders)
+        parts = self._deterministic_memo.get(key)
+        if parts is None:
+            parts = (
+                self.contention.access_delay_ms(contenders),
+                self.airtime_ms(size_bytes),
+                self.t_proc_ms,
+            )
+            self._deterministic_memo[key] = parts
+        return parts
 
     def timing(self, size_bytes: int, contenders: int) -> TransmissionTiming:
         """Latency breakdown for one transmission (memoised hot path).
@@ -140,17 +172,10 @@ class MacDelayModel:
                 )
                 self._timing_memo[key] = cached
             return cached
-        deterministic = self._deterministic_memo.get(key)
-        if deterministic is None:
-            deterministic = (
-                self.contention.access_delay_ms(contenders),
-                self.airtime_ms(size_bytes),
-            )
-            self._deterministic_memo[key] = deterministic
-        contention_ms, airtime_ms = deterministic
+        contention_ms, airtime_ms, processing_ms = self.delay_parts(size_bytes, contenders)
         return TransmissionTiming(
             contention_ms=contention_ms,
             backoff_ms=self.backoff_ms(contenders),
             airtime_ms=airtime_ms,
-            processing_ms=self.t_proc_ms,
+            processing_ms=processing_ms,
         )

@@ -112,8 +112,14 @@ def percentile(sorted_values: Sequence[float], q: float) -> float:
     upper = math.ceil(rank)
     if lower == upper:
         return sorted_values[int(rank)]
+    low, high = sorted_values[lower], sorted_values[upper]
+    if low == high:
+        # Interpolating between equal values must return that value exactly.
+        # The weighted form below does for normal floats (x*0.5 + x*0.5 == x)
+        # but not for subnormals, where the halving rounds.
+        return low
     weight = rank - lower
-    return sorted_values[lower] * (1.0 - weight) + sorted_values[upper] * weight
+    return low * (1.0 - weight) + high * weight
 
 
 def summarize(values: Iterable[float]) -> DistributionSummary:

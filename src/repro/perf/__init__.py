@@ -13,6 +13,7 @@ from repro.perf.bench import (
     DEFAULT_BENCH_PATH,
     BenchScenario,
     available_benchmarks,
+    compare_bench_record,
     get_benchmark,
     register_benchmark,
     run_benchmark,
@@ -32,6 +33,7 @@ __all__ = [
     "BenchValidationError",
     "append_bench_record",
     "available_benchmarks",
+    "compare_bench_record",
     "get_benchmark",
     "load_bench_records",
     "register_benchmark",

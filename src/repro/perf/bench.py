@@ -24,7 +24,7 @@ import subprocess
 import time
 from dataclasses import dataclass
 from datetime import datetime, timezone
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.perf.schema import BENCH_SCHEMA_KEY, BENCH_SCHEMA_VERSION
 
@@ -181,6 +181,54 @@ def run_benchmark(scenario: BenchScenario) -> Dict[str, object]:
         "python_version": platform.python_version(),
         "timestamp_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
     }
+
+
+def compare_bench_record(
+    record: Dict[str, object], records: Sequence[Dict[str, object]]
+) -> Tuple[Optional[bool], List[str]]:
+    """Compare *record* against the latest trajectory record of its benchmark.
+
+    The trajectory (``BENCH_kernel.json``) may interleave records of several
+    benchmarks; the baseline is the most recent record whose ``benchmark``
+    name matches.  Returns ``(matched, lines)``:
+
+    * ``matched is None`` — the trajectory holds no earlier record of this
+      benchmark (nothing to compare; first run on a fresh trajectory),
+    * ``matched is True`` — the canonical digests agree; *lines* report the
+      events/sec delta,
+    * ``matched is False`` — digest drift: the same workload produced
+      different results, which means an optimisation broke byte-identity.
+    """
+    baseline = None
+    for prior in reversed(list(records)):
+        if prior.get("benchmark") == record["benchmark"]:
+            baseline = prior
+            break
+    if baseline is None:
+        return None, [
+            f"compare: no earlier {record['benchmark']!r} record in the "
+            "trajectory; nothing to compare against"
+        ]
+    git = baseline.get("git") or {}
+    described = git.get("describe", "?") if isinstance(git, dict) else "?"
+    tag = f"{described} @ {baseline.get('timestamp_utc', '?')}"
+    if baseline["canonical_digest"] != record["canonical_digest"]:
+        return False, [
+            f"compare: DIGEST DRIFT vs baseline ({tag})",
+            f"  baseline digest  {baseline['canonical_digest']}",
+            f"  current digest   {record['canonical_digest']}",
+            "  the same workload produced different metrics — the kernel or "
+            "protocol change is not byte-identical",
+        ]
+    old_eps = float(baseline["events_per_sec"])
+    new_eps = float(record["events_per_sec"])
+    delta = f" ({(new_eps - old_eps) / old_eps:+.1%})" if old_eps > 0 else ""
+    return True, [
+        f"compare: digest matches baseline ({tag})",
+        f"  events/sec       {old_eps:.0f} -> {new_eps:.0f}{delta}",
+        f"  wall time        {float(baseline['wall_time_s']):.2f} s -> "
+        f"{float(record['wall_time_s']):.2f} s",
+    ]
 
 
 def format_bench_record(record: Dict[str, object]) -> List[str]:

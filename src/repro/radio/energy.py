@@ -158,6 +158,18 @@ class EnergyLedger:
         self._per_category[category] += energy_uj
         self._per_node_category[(node_id, category)] += energy_uj
 
+    def hot_path_accounts(self):
+        """The ``(per_node, per_category, per_node_category)`` accumulators.
+
+        For the network delivery loops only: a reception loop charging one
+        pre-validated non-negative cost per receiver updates the mappings
+        directly instead of paying one :meth:`charge` call per reception.
+        Callers must mirror :meth:`charge` exactly — same three updates, same
+        order — so the accumulated floats are bit-identical to per-call
+        charging.
+        """
+        return self._per_node, self._per_category, self._per_node_category
+
     def charge_batch(
         self,
         node_ids: Sequence[int],

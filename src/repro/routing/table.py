@@ -63,21 +63,38 @@ class RoutingTable:
         """All candidate routes to *destination*, cheapest first."""
         return list(self._routes.get(destination, []))
 
+    def best(self, destination: int) -> Optional[RouteCandidate]:
+        """The cheapest route candidate to *destination*, if any.
+
+        One dict lookup for the protocol hot path that needs both the next
+        hop and the cost of the primary route (SPMS advertisement handling).
+        """
+        candidates = self._routes.get(destination)
+        return candidates[0] if candidates else None
+
     def next_hop(self, destination: int, exclude: Optional[Set[int]] = None) -> Optional[int]:
         """Best next hop towards *destination*, skipping nodes in *exclude*.
 
         Returns ``None`` if no (non-excluded) route exists.
         """
-        exclude = exclude or set()
-        for candidate in self._routes.get(destination, []):
+        candidates = self._routes.get(destination)
+        if candidates is None:
+            return None
+        if not exclude:
+            return candidates[0].next_hop
+        for candidate in candidates:
             if candidate.next_hop not in exclude:
                 return candidate.next_hop
         return None
 
     def cost(self, destination: int, exclude: Optional[Set[int]] = None) -> Optional[float]:
         """Cost of the best (non-excluded) route to *destination*."""
-        exclude = exclude or set()
-        for candidate in self._routes.get(destination, []):
+        candidates = self._routes.get(destination)
+        if candidates is None:
+            return None
+        if not exclude:
+            return candidates[0].cost
+        for candidate in candidates:
             if candidate.next_hop not in exclude:
                 return candidate.cost
         return None

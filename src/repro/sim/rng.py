@@ -84,6 +84,12 @@ class RandomStreams:
         return RandomStreams(spawn_seed(self.master_seed, *tokens))
 
     def reset(self) -> None:
-        """Re-seed every existing stream back to its initial state."""
-        for name in list(self._streams):
-            self._streams[name] = random.Random(self._derive_seed(name))
+        """Re-seed every existing stream back to its initial state.
+
+        Streams are re-seeded *in place* (``Random.seed`` resets the state a
+        fresh ``Random(seed)`` would have) so that callers holding a stream
+        object — e.g. the MAC delay model's cached backoff stream — observe
+        the reset instead of drawing from a stale generator.
+        """
+        for name, stream in self._streams.items():
+            stream.seed(self._derive_seed(name))

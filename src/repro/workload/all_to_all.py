@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.core.interests import AllInterested, InterestModel
-from repro.core.metadata import DataDescriptor, DataItem
+from repro.core.metadata import DataItem, intern_descriptor
 from repro.sim.rng import RandomStreams
 from repro.workload.base import ScheduledItem, Workload
 from repro.workload.poisson import PoissonArrivals
@@ -72,7 +72,7 @@ class AllToAllWorkload(Workload):
             source = order[index % len(order)]
             sequence = per_node_counter[source]
             per_node_counter[source] += 1
-            descriptor = DataDescriptor(name=f"item/src{source}/seq{sequence}")
+            descriptor = intern_descriptor(f"item/src{source}/seq{sequence}")
             item = DataItem(
                 descriptor=descriptor,
                 source=source,

@@ -15,7 +15,7 @@ import math
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.interests import ExplicitInterest, InterestModel
-from repro.core.metadata import DataDescriptor, DataItem
+from repro.core.metadata import DataItem, intern_descriptor
 from repro.sim.rng import RandomStreams
 from repro.topology.field import SensorField
 from repro.topology.zone import ZoneMap
@@ -145,7 +145,7 @@ class ClusterWorkload(Workload):
             for source in members:
                 time_ms = times[index]
                 index += 1
-                descriptor = DataDescriptor(name=f"cluster/src{source}/seq{sequence}")
+                descriptor = intern_descriptor(f"cluster/src{source}/seq{sequence}")
                 interested = {self.head_of[source]}
                 for bystander in self.zone_map.zone_neighbors(source):
                     if bystander == self.head_of[source]:

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.core.interests import ExplicitInterest, InterestModel
-from repro.core.metadata import DataDescriptor, DataItem
+from repro.core.metadata import DataItem, intern_descriptor
 from repro.sim.rng import RandomStreams
 from repro.workload.base import ScheduledItem, Workload
 
@@ -65,7 +65,7 @@ class SinglePairWorkload(Workload):
         schedule = []
         for sequence in range(self.num_items):
             time_ms = self.start_ms + sequence * self.interval_ms
-            descriptor = DataDescriptor(name=f"pair/src{self.source}/seq{sequence}")
+            descriptor = intern_descriptor(f"pair/src{self.source}/seq{sequence}")
             self._interest.set_interest(descriptor.name, self.destinations)
             item = DataItem(
                 descriptor=descriptor,

@@ -1,0 +1,150 @@
+"""Tests for `repro bench --compare` and `compare_bench_record`.
+
+The trajectory in ``BENCH_kernel.json`` doubles as a byte-identity proof:
+every record carries the canonical digest of its benchmark grid, so a new
+record whose digest differs from the last record of the same benchmark means
+an optimisation changed *results*, not just speed.  ``--compare`` turns that
+into an error exit (CI runs it on every build).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf import compare_bench_record, load_bench_records
+
+
+@pytest.fixture
+def capture():
+    lines = []
+    return lines, lines.append
+
+
+def make_record(benchmark="quick", digest="d" * 64, eps=1000.0, wall=2.0, **extra):
+    record = {
+        "bench_schema_version": 1,
+        "benchmark": benchmark,
+        "matrix": "fig06",
+        "scale": "quick",
+        "jobs": 2,
+        "events_processed": 1000,
+        "wall_time_s": wall,
+        "sim_time_ms": 100.0,
+        "events_per_sec": eps,
+        "canonical_digest": digest,
+        "git": {"describe": "abc1234", "commit": "abc1234" + "0" * 33},
+        "python_version": "3.11.0",
+        "timestamp_utc": "2026-07-26T00:00:00+00:00",
+    }
+    record.update(extra)
+    return record
+
+
+class TestCompareBenchRecord:
+    def test_empty_trajectory_is_inconclusive(self):
+        record = make_record()
+        matched, lines = compare_bench_record(record, [])
+        assert matched is None
+        assert any("nothing to compare" in line for line in lines)
+
+    def test_matching_digest_reports_delta(self):
+        baseline = make_record(eps=1000.0, wall=4.0)
+        record = make_record(eps=1250.0, wall=3.2)
+        matched, lines = compare_bench_record(record, [baseline])
+        assert matched is True
+        text = "\n".join(lines)
+        assert "digest matches" in text
+        assert "+25.0%" in text
+
+    def test_drifting_digest_is_flagged(self):
+        baseline = make_record(digest="a" * 64)
+        record = make_record(digest="b" * 64)
+        matched, lines = compare_bench_record(record, [baseline])
+        assert matched is False
+        text = "\n".join(lines)
+        assert "DIGEST DRIFT" in text
+        assert "a" * 64 in text and "b" * 64 in text
+
+    def test_baseline_is_latest_record_of_same_benchmark(self):
+        """Other benchmarks interleaved in the trajectory are skipped, and
+        the *most recent* same-benchmark record wins."""
+        stale = make_record(digest="a" * 64)
+        other = make_record(benchmark="fig06", digest="c" * 64)
+        latest = make_record(digest="b" * 64)
+        record = make_record(digest="b" * 64)
+        matched, _ = compare_bench_record(record, [stale, other, latest])
+        assert matched is True
+        matched, _ = compare_bench_record(record, [latest, other, stale])
+        assert matched is False
+
+    def test_no_same_benchmark_record_is_inconclusive(self):
+        record = make_record(benchmark="quick")
+        matched, _ = compare_bench_record(record, [make_record(benchmark="fig06")])
+        assert matched is None
+
+
+class TestCliCompare:
+    def test_compare_against_empty_trajectory_succeeds_and_appends(
+        self, capture, tmp_path
+    ):
+        lines, out = capture
+        output = tmp_path / "BENCH.json"
+        code = main(
+            ["bench", "--quick", "--output", str(output), "--compare"], out=out
+        )
+        assert code == 0
+        assert any("nothing to compare" in line for line in lines)
+        assert len(load_bench_records(output)) == 1
+
+    def test_compare_match_reports_delta_and_appends(self, capture, tmp_path):
+        lines, out = capture
+        output = tmp_path / "BENCH.json"
+        assert main(["bench", "--quick", "--output", str(output)], out=out) == 0
+        code = main(
+            ["bench", "--quick", "--output", str(output), "--compare"], out=out
+        )
+        assert code == 0
+        assert any("digest matches" in line for line in lines)
+        assert len(load_bench_records(output)) == 2
+
+    def test_compare_drift_errors_and_does_not_append(self, capture, tmp_path):
+        lines, out = capture
+        output = tmp_path / "BENCH.json"
+        assert main(["bench", "--quick", "--output", str(output)], out=out) == 0
+        # Corrupt the stored baseline digest: the next run must detect drift.
+        (record,) = json.loads(output.read_text())
+        record["canonical_digest"] = "0" * 64
+        output.write_text(json.dumps([record]))
+        code = main(
+            ["bench", "--quick", "--output", str(output), "--compare"], out=out
+        )
+        assert code == 1
+        assert any("DIGEST DRIFT" in line for line in lines)
+        assert any("NOT appended" in line for line in lines)
+        assert len(load_bench_records(output)) == 1
+
+    def test_compare_with_unreadable_trajectory_fails_cleanly(self, capture, tmp_path):
+        lines, out = capture
+        output = tmp_path / "BENCH.json"
+        output.write_text("not json")
+        code = main(
+            ["bench", "--quick", "--output", str(output), "--compare"], out=out
+        )
+        assert code == 2
+        assert any("cannot compare" in line for line in lines)
+
+    def test_compare_composes_with_no_append(self, capture, tmp_path):
+        lines, out = capture
+        output = tmp_path / "BENCH.json"
+        assert main(["bench", "--quick", "--output", str(output)], out=out) == 0
+        code = main(
+            [
+                "bench", "--quick", "--output", str(output),
+                "--compare", "--no-append",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert any("digest matches" in line for line in lines)
+        assert len(load_bench_records(output)) == 1

@@ -1,0 +1,158 @@
+"""Optimized-vs-oracle differential tests for every registered protocol.
+
+Each test runs one small end-to-end scenario twice — on the protocol-layer
+fast path and in :func:`~tests.protocols.harness.oracle_mode` — and asserts
+the two runs are observationally identical: every metric counter, every
+energy account, every delivery timestamp, every RNG stream position and the
+byte-exact ``canonical_json()``.
+
+This suite is the contract that lets protocol files change at all under the
+PR-4 digest pins (see README "Performance"): a protocol-layer optimisation
+may only land together with an oracle that proves it changed *nothing* but
+speed.
+"""
+
+import pytest
+
+from repro.build import PROTOCOL, available
+from repro.core.cache import NaiveDataCache
+from repro.core.metadata import DataDescriptor
+from repro.core.network import Network
+from repro.core.node_base import ProtocolNode
+from repro.experiments.config import FailureConfig, MobilityConfig, SimulationConfig
+from repro.experiments.scenarios import (
+    all_to_all_scenario,
+    cluster_scenario,
+    single_pair_scenario,
+)
+
+from tests.protocols.harness import assert_identical, oracle_mode, run_differential
+
+#: Every protocol the component registry knows about.  Dynamic on purpose:
+#: a protocol plugin added later is differentially tested without touching
+#: this file.
+PROTOCOLS = sorted(available(PROTOCOL))
+
+
+@pytest.fixture
+def config() -> SimulationConfig:
+    return SimulationConfig(
+        num_nodes=9,
+        packets_per_node=1,
+        transmission_radius_m=15.0,
+        grid_spacing_m=5.0,
+        seed=11,
+    )
+
+
+class TestOracleModeActuallyDisables:
+    """Guard the harness itself: a silently no-op oracle proves nothing."""
+
+    def test_network_fast_paths_flipped_and_restored(self):
+        assert Network.ADV_FAST_PATH and Network.UNICAST_LEVEL_CACHE
+        with oracle_mode():
+            assert not Network.ADV_FAST_PATH
+            assert not Network.UNICAST_LEVEL_CACHE
+        assert Network.ADV_FAST_PATH and Network.UNICAST_LEVEL_CACHE
+
+    def test_nodes_get_naive_cache(self):
+        class _Probe(ProtocolNode):
+            def originate(self, item):  # pragma: no cover - abstract filler
+                pass
+
+            def on_packet(self, packet):  # pragma: no cover - abstract filler
+                pass
+
+        with oracle_mode():
+            probe = _Probe(0, network=_FakeNetwork(), interest_model=None)
+            assert isinstance(probe.cache, NaiveDataCache)
+        probe = _Probe(0, network=_FakeNetwork(), interest_model=None)
+        assert not isinstance(probe.cache, NaiveDataCache)
+
+    def test_interning_disabled_value_semantics_kept(self):
+        interned = DataDescriptor.intern("item/x")
+        assert DataDescriptor.intern("item/x") is interned
+        with oracle_mode():
+            first = DataDescriptor.intern("item/x")
+            second = DataDescriptor.intern("item/x")
+            assert first is not second
+            assert first == second == interned
+        assert DataDescriptor.intern("item/x") is interned
+
+    def test_restored_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with oracle_mode():
+                raise RuntimeError("boom")
+        assert Network.ADV_FAST_PATH and Network.UNICAST_LEVEL_CACHE
+        assert DataDescriptor.intern("item/y") is DataDescriptor.intern("item/y")
+
+
+class _FakeNetwork:
+    """Minimal stand-in so a ProtocolNode can be built without a simulator."""
+
+    sim = None
+    metrics = None
+
+
+class TestAllToAllDifferential:
+    """The paper's Section 5.1 workload, all four protocols."""
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_protocol_matches_oracle(self, protocol, config):
+        spec = all_to_all_scenario(protocol, config)
+        optimized, oracle = run_differential(spec)
+        assert_identical(optimized, oracle)
+
+    @pytest.mark.parametrize("protocol", ["spms", "spin"])
+    def test_random_placement_matches_oracle(self, protocol, config):
+        spec = all_to_all_scenario(protocol, config, placement="random")
+        optimized, oracle = run_differential(spec)
+        assert_identical(optimized, oracle)
+
+
+class TestFaultAndMobilityDifferential:
+    """Failures exercise the failed-receiver branch of the batched fan-out;
+    mobility exercises receiver-cache and unicast-level-cache invalidation."""
+
+    def test_spms_with_failures_matches_oracle(self, config):
+        spec = all_to_all_scenario("spms", config, failures=FailureConfig())
+        optimized, oracle = run_differential(spec)
+        assert_identical(optimized, oracle)
+
+    def test_spms_with_mobility_matches_oracle(self, config):
+        spec = all_to_all_scenario("spms", config, mobility=MobilityConfig())
+        optimized, oracle = run_differential(spec)
+        assert_identical(optimized, oracle)
+
+    def test_spin_with_failures_matches_oracle(self, config):
+        spec = all_to_all_scenario("spin", config, failures=FailureConfig())
+        optimized, oracle = run_differential(spec)
+        assert_identical(optimized, oracle)
+
+
+class TestOtherWorkloadsDifferential:
+    """Cluster and single-pair traffic shapes (different interest models,
+    different descriptor name streams)."""
+
+    @pytest.mark.parametrize("protocol", ["spms", "spin"])
+    def test_cluster_matches_oracle(self, protocol, config):
+        spec = cluster_scenario(protocol, config, packets_per_member=1)
+        optimized, oracle = run_differential(spec)
+        assert_identical(optimized, oracle)
+
+    def test_single_pair_matches_oracle(self, config):
+        spec = single_pair_scenario("spms", source=0, destinations=[8], config=config)
+        optimized, oracle = run_differential(spec)
+        assert_identical(optimized, oracle)
+
+
+class TestDifferentialIsDeterministic:
+    """The harness compares like with like: two optimized runs of the same
+    spec are identical, so any optimized-vs-oracle mismatch is attributable
+    to the fast paths and not to run-to-run noise."""
+
+    def test_repeat_optimized_runs_identical(self, config):
+        from tests.protocols.harness import observe
+
+        spec = all_to_all_scenario("spms", config)
+        assert_identical(observe(spec), observe(spec))
