@@ -1,0 +1,64 @@
+"""Store-append benchmark: the sidecar index keeps appends O(1) amortized.
+
+The pre-rework ``RunStore`` kept its fingerprint index inside
+``manifest.json`` and rewrote the whole manifest on every append, so the
+cost of append #N was O(N) and a long sweep's store spent its time
+re-serializing an ever-growing index.  The reworked store appends one line
+to ``shards/records-*.jsonl`` and one line to the ``index.jsonl`` sidecar.
+
+This benchmark times one 10k-append store against ten fresh 1k-append
+stores.  Under the old O(N) manifest rewrite the single big store was ~10x
+slower per record than the ten small ones; with the sidecar the two walls
+must agree within 2x (the ISSUE's acceptance bar for "O(1) amortized").
+"""
+
+import tempfile
+from pathlib import Path
+from time import perf_counter
+
+from benchmarks.conftest import emit, run_once
+from repro.perf.bench import store_append_record
+from repro.results import RunStore
+
+#: Acceptance bar: 10k appends into one store vs 1k x 10 fresh stores.
+MAX_AMORTIZED_RATIO = 2.0
+
+BIG = 10_000
+SMALL = 1_000
+
+
+def _time_appends(root, records):
+    store = RunStore(root, records_per_shard=512)
+    started = perf_counter()
+    for record in records:
+        store.append(record)
+    return perf_counter() - started
+
+
+def _measure_append_scaling():
+    records = [store_append_record(i) for i in range(BIG)]
+    with tempfile.TemporaryDirectory(prefix="repro-store-scaling-") as tmp:
+        base = Path(tmp)
+        big_wall = _time_appends(base / "big", records)
+        small_wall = sum(
+            _time_appends(base / f"small-{chunk}", records[:SMALL])
+            for chunk in range(BIG // SMALL)
+        )
+    return big_wall, small_wall
+
+
+def test_store_append_is_amortized_constant(benchmark):
+    big_wall, small_wall = run_once(benchmark, _measure_append_scaling)
+
+    ratio = big_wall / small_wall
+    emit("\n=== RunStore append scaling: one 10k store vs ten fresh 1k stores ===")
+    emit(f"{'workload':>24} {'records':>8} {'wall (s)':>9} {'rec/s':>8}")
+    emit(f"{'one store x 10k':>24} {BIG:>8} {big_wall:>9.3f} {BIG / big_wall:>8.0f}")
+    emit(f"{'ten stores x 1k':>24} {BIG:>8} {small_wall:>9.3f} {BIG / small_wall:>8.0f}")
+    emit(f"{'ratio':>24} {ratio:>27.2f}x (bar: <= {MAX_AMORTIZED_RATIO}x)")
+
+    assert ratio <= MAX_AMORTIZED_RATIO, (
+        f"append cost grows with store size: 10k-append store took {ratio:.2f}x "
+        f"the wall of ten 1k-append stores ({big_wall:.3f}s vs {small_wall:.3f}s); "
+        "the sidecar index should keep appends O(1) amortized"
+    )

@@ -504,6 +504,12 @@ def _cmd_report(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     out(f"{len(records)} record(s) in {args.run_dir}")
     out("")
     out(_record_table(records, args.metric))
+    for partial in store.partial_paths():
+        out("")
+        out(
+            f"note: {partial} holds quarantined partial lines from an "
+            "interrupted writer; the records above are unaffected"
+        )
     return 0
 
 

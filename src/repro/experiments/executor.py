@@ -136,7 +136,9 @@ def stream_jobs(
             already cached are not re-simulated.
         store: Optional run store; *every* completed record (cache hits
             included) is appended, so the run directory describes the full
-            requested set.
+            requested set.  Appends happen in the parent under the store's
+            advisory file lock, so several executors (or CLI runs) may
+            share one ``--run-dir`` concurrently without losing records.
     """
     workers = max(1, int(workers))
     pending: List[SweepJob] = []

@@ -14,10 +14,12 @@ keep working.  New code should import from :mod:`repro.results` directly:
 
 from repro.results import (  # noqa: F401  (re-exports)
     CACHE_SCHEMA_VERSION,
+    CANONICAL_SCHEMA_VERSION,
     DistributionSummary,
     MetricsSummary,
     RECORD_SCHEMA_KEY,
     RESULTS_SCHEMA_VERSION,
+    SUPPORTED_RESULTS_SCHEMA_VERSIONS,
     RecordValidationError,
     ResultCache,
     RunRecord,
@@ -30,10 +32,12 @@ from repro.results import (  # noqa: F401  (re-exports)
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "CANONICAL_SCHEMA_VERSION",
     "DistributionSummary",
     "MetricsSummary",
     "RECORD_SCHEMA_KEY",
     "RESULTS_SCHEMA_VERSION",
+    "SUPPORTED_RESULTS_SCHEMA_VERSIONS",
     "RecordValidationError",
     "ResultCache",
     "RunRecord",

@@ -38,10 +38,15 @@ class BenchScenario:
 
     Attributes:
         name: Registry name (``repro bench <name>``).
-        matrix: Registered scenario-matrix name to expand.
+        matrix: Registered scenario-matrix name to expand (``kind="matrix"``),
+            or a pseudo-name describing the workload otherwise.
         scale: Figure scale preset (``"bench"`` or ``"paper"``).
         max_jobs: Run only the first N expanded jobs (quick smoke modes).
+            For ``kind="store-append"``, the number of records appended.
         description: One-line human description for ``repro bench --list``.
+        kind: ``"matrix"`` runs simulation jobs; ``"store-append"`` times the
+            :class:`~repro.results.RunStore` append path instead (one
+            synthetic record per "event", into a throwaway run directory).
     """
 
     name: str
@@ -49,6 +54,7 @@ class BenchScenario:
     scale: str = "bench"
     max_jobs: Optional[int] = None
     description: str = ""
+    kind: str = "matrix"
 
     def jobs(self) -> List:
         """Expand the matrix into the jobs this benchmark runs."""
@@ -122,6 +128,15 @@ register_benchmark(
         description="first two fig06 jobs (16 nodes, both protocols) — CI smoke",
     )
 )
+register_benchmark(
+    BenchScenario(
+        name="store-append",
+        matrix="store-append",
+        kind="store-append",
+        max_jobs=10_000,
+        description="append 10k records to one RunStore (locked sidecar-index path)",
+    )
+)
 
 
 # --------------------------------------------------------------------- harness
@@ -144,6 +159,88 @@ def git_metadata() -> Optional[Dict[str, str]]:
         return None
 
 
+def store_append_record(index: int) -> "object":
+    """Deterministic synthetic :class:`RunRecord` #*index* for store benches.
+
+    Fingerprints repeat every 1024 appends so the sidecar index accumulates
+    multi-location entries the way a re-run sweep's store would.
+    """
+    from repro.metrics.summary import DistributionSummary, MetricsSummary
+    from repro.results import RunRecord
+
+    fingerprint = hashlib.sha256(
+        f"store-append/{index % 1024}".encode("utf-8")
+    ).hexdigest()
+    summary = MetricsSummary(
+        items_generated=1,
+        expected_deliveries=8,
+        deliveries_completed=8,
+        total_energy_uj=90.0,
+        energy_breakdown_uj={"rx": 40.0, "tx": 50.0},
+        packets_sent={"ADV": 9},
+        delay=DistributionSummary(8, 5.0, 1.0, 9.0, 2.0, 5.0),
+    )
+    return RunRecord(
+        key=f"store-append/{index:06d}",
+        protocol="spms",
+        scenario="store-append",
+        spec_fingerprint=fingerprint,
+        seed=index,
+        num_nodes=9,
+        transmission_radius_m=20.0,
+        summary=summary,
+        axes={"append_index": index},
+    )
+
+
+def _run_store_append_benchmark(scenario: BenchScenario) -> Dict[str, object]:
+    """Time `max_jobs` RunStore appends into a throwaway run directory.
+
+    One "event" is one append through the full locked path (tail
+    re-validation, shard write, sidecar index write).  Record construction
+    and the canonical digest are computed outside the timed section, so the
+    wall time is the store's.  The digest doubles as the usual byte-identity
+    gate: the appended records are deterministic, and after the timed loop
+    the store must read back exactly the records that went in.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.results import RunStore
+
+    count = scenario.max_jobs or 10_000
+    records = [store_append_record(i) for i in range(count)]
+    digest = hashlib.sha256(
+        "\n".join(r.canonical_json() for r in records).encode("utf-8")
+    ).hexdigest()
+    with tempfile.TemporaryDirectory(prefix="repro-store-bench-") as tmp:
+        store = RunStore(Path(tmp) / "run", records_per_shard=512)
+        started = time.perf_counter()
+        for record in records:
+            store.append(record)
+        wall_time_s = time.perf_counter() - started
+        stored = len(store)
+        if stored != count:
+            raise RuntimeError(
+                f"store-append benchmark lost records: {stored}/{count} stored"
+            )
+    return {
+        BENCH_SCHEMA_KEY: BENCH_SCHEMA_VERSION,
+        "benchmark": scenario.name,
+        "matrix": scenario.matrix,
+        "scale": scenario.scale,
+        "jobs": count,
+        "events_processed": count,
+        "sim_time_ms": 0.0,
+        "wall_time_s": wall_time_s,
+        "events_per_sec": (count / wall_time_s) if wall_time_s > 0 else 0.0,
+        "canonical_digest": digest,
+        "git": git_metadata(),
+        "python_version": platform.python_version(),
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+
+
 def run_benchmark(scenario: BenchScenario) -> Dict[str, object]:
     """Run *scenario* serially in-process and return its bench record.
 
@@ -152,6 +249,8 @@ def run_benchmark(scenario: BenchScenario) -> Dict[str, object]:
     """
     from repro.experiments.runner import ExperimentRunner
 
+    if scenario.kind == "store-append":
+        return _run_store_append_benchmark(scenario)
     jobs = scenario.jobs()
     canonical: List[str] = []
     total_events = 0

@@ -23,8 +23,10 @@ from repro.metrics.summary import DistributionSummary, MetricsSummary
 from repro.results.cache import CACHE_SCHEMA_VERSION, ResultCache, spec_fingerprint
 from repro.results.legacy import ScenarioResult, SweepResult
 from repro.results.record import (
+    CANONICAL_SCHEMA_VERSION,
     RECORD_SCHEMA_KEY,
     RESULTS_SCHEMA_VERSION,
+    SUPPORTED_RESULTS_SCHEMA_VERSIONS,
     RecordValidationError,
     RunRecord,
 )
@@ -32,10 +34,12 @@ from repro.results.store import RunStore, RunStoreError
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "CANONICAL_SCHEMA_VERSION",
     "DistributionSummary",
     "MetricsSummary",
     "RECORD_SCHEMA_KEY",
     "RESULTS_SCHEMA_VERSION",
+    "SUPPORTED_RESULTS_SCHEMA_VERSIONS",
     "RecordValidationError",
     "ResultCache",
     "RunRecord",

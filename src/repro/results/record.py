@@ -24,10 +24,29 @@ from typing import Any, Dict, Mapping, Optional
 
 from repro.metrics.summary import MetricsSummary
 
-#: Version of the serialized run-record schema.  Bumped whenever the record
-#: layout changes incompatibly; :meth:`RunRecord.from_dict` rejects records
-#: written under a different version.
-RESULTS_SCHEMA_VERSION = 1
+#: Version of the serialized run-record / run-store schema.  Bumped whenever
+#: the serialized layout changes; writes always emit this version.  History:
+#:
+#: * 1 — initial canonical record; stores kept the fingerprint index inside
+#:   ``manifest.json`` and keyed raw blobs by spec fingerprint.
+#: * 2 — store layout rework: append-only ``index.jsonl`` sidecar index,
+#:   advisory append locking, torn-tail quarantine, raw blobs keyed by the
+#:   record key.  The record *field set* is unchanged, so v1 records load
+#:   transparently (see :data:`SUPPORTED_RESULTS_SCHEMA_VERSIONS`).
+RESULTS_SCHEMA_VERSION = 2
+
+#: Serialized versions :meth:`RunRecord.from_dict` accepts.  v1 is readable
+#: because v2 changed only the surrounding store layout, not the record
+#: fields — migrated legacy shards (and old cache entries) keep loading.
+SUPPORTED_RESULTS_SCHEMA_VERSIONS = (1, 2)
+
+#: Version stamped into :meth:`RunRecord.canonical_dict`.  The canonical
+#: rendering is the byte-identity contract — ``repro bench --compare``
+#: digests and the differential-test pins are stated over it — so it only
+#: bumps when the *deterministic result content* changes.  The v1 -> v2
+#: serialization bump changed no result content, so the canonical form (and
+#: every pinned digest) stays at 1.
+CANONICAL_SCHEMA_VERSION = 1
 
 #: Key carrying the schema version in serialized records.
 RECORD_SCHEMA_KEY = "schema_version"
@@ -168,10 +187,11 @@ class RunRecord:
             )
         payload = dict(data)
         version = payload.pop(RECORD_SCHEMA_KEY, None)
-        if version != RESULTS_SCHEMA_VERSION:
+        if version not in SUPPORTED_RESULTS_SCHEMA_VERSIONS:
             raise RecordValidationError(
                 f"unsupported run-record schema version {version!r}; "
-                f"this build reads version {RESULTS_SCHEMA_VERSION}"
+                f"this build reads versions "
+                f"{sorted(SUPPORTED_RESULTS_SCHEMA_VERSIONS)}"
             )
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = sorted(set(payload) - known)
@@ -212,6 +232,9 @@ class RunRecord:
         data = self.to_dict()
         for volatile in VOLATILE_FIELDS:
             data.pop(volatile, None)
+        # The canonical form is versioned by the deterministic-content
+        # contract, not the storage layout — see CANONICAL_SCHEMA_VERSION.
+        data[RECORD_SCHEMA_KEY] = CANONICAL_SCHEMA_VERSION
         return data
 
     def canonical_json(self) -> str:

@@ -408,6 +408,21 @@ class TestReportCommand:
         assert "fig06/num_nodes=9/spms" in text
         assert "fig06/num_nodes=9/spin" in text
 
+    def test_report_mentions_quarantined_partials(self, capture, tmp_path):
+        lines, out = capture
+        run_dir = self._populate(capture, tmp_path)
+        from repro.results import RunStore
+
+        store = RunStore(run_dir)
+        with store.shard_paths()[-1].open("a") as handle:
+            handle.write('{"torn')  # newline-less tail from a killed writer
+        store.recover()
+        assert main(["report", str(run_dir)], out=out) == 0
+        text = "\n".join(lines)
+        assert "2 record(s)" in text
+        assert "quarantined partial lines" in text
+        assert ".partial" in text
+
     def test_missing_run_dir_fails_cleanly(self, capture):
         lines, out = capture
         assert main(["report", "/no/such/run"], out=out) == 2

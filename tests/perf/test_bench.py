@@ -17,7 +17,11 @@ from repro.perf import (
     run_benchmark,
     validate_bench_record,
 )
-from repro.perf.bench import QUICK_BENCHMARK, format_bench_record
+from repro.perf.bench import (
+    QUICK_BENCHMARK,
+    format_bench_record,
+    store_append_record,
+)
 
 
 @pytest.fixture(scope="module")
@@ -68,6 +72,49 @@ class TestHarness:
         text = "\n".join(format_bench_record(quick_record))
         assert "events/sec" in text
         assert "wall time" in text
+
+
+class TestStoreAppendBenchmark:
+    """The ``store-append`` kind times RunStore appends, not simulations."""
+
+    SMALL = BenchScenario(
+        name="store-append-test",
+        matrix="store-append",
+        kind="store-append",
+        max_jobs=100,
+    )
+
+    def test_registered_with_the_append_kind(self):
+        scenario = get_benchmark("store-append")
+        assert scenario.kind == "store-append"
+        assert scenario.max_jobs == 10_000
+
+    def test_record_validates_under_the_schema(self):
+        record = run_benchmark(self.SMALL)
+        assert validate_bench_record(record) is record
+        assert record["jobs"] == 100
+        assert record["events_processed"] == 100
+        assert record["sim_time_ms"] == 0.0  # no simulation ran
+        assert record["wall_time_s"] > 0
+        assert record["events_per_sec"] > 0
+
+    def test_canonical_digest_is_deterministic(self):
+        first = run_benchmark(self.SMALL)
+        again = run_benchmark(self.SMALL)
+        assert again["canonical_digest"] == first["canonical_digest"]
+
+    def test_synthetic_records_repeat_fingerprints(self):
+        # Appends 0 and 1024 share a spec fingerprint (multi-location index
+        # entries), but never a key or raw blob identity.
+        assert (
+            store_append_record(0).spec_fingerprint
+            == store_append_record(1024).spec_fingerprint
+        )
+        assert store_append_record(0).key != store_append_record(1024).key
+        assert (
+            store_append_record(0).canonical_json()
+            != store_append_record(1024).canonical_json()
+        )
 
 
 class TestSchemaValidation:

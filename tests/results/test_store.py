@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.results import RunStore, RunStoreError
+from repro.results import RESULTS_SCHEMA_VERSION, RunStore, RunStoreError
 
 from tests.results.test_record import make_record
 
@@ -57,7 +57,7 @@ class TestAppendAndRead:
     def test_manifest_written_once_and_validated(self, store):
         fill(store, 1)
         manifest = json.loads((store.root / "manifest.json").read_text())
-        assert manifest["schema_version"] == 1
+        assert manifest["schema_version"] == RESULTS_SCHEMA_VERSION
         (store.root / "manifest.json").write_text(json.dumps({"schema_version": 99}))
         with pytest.raises(RunStoreError, match="schema"):
             RunStore(store.root).append(make_record())
@@ -67,6 +67,17 @@ class TestAppendAndRead:
         path = store.shard_paths()[0]
         path.write_text(path.read_text() + "{not json\n")
         with pytest.raises(RunStoreError, match="corrupt record"):
+            list(store.records())
+
+    def test_len_counts_lines_without_validating(self, store):
+        # len() must not deserialize records: a corrupt (but
+        # newline-terminated) line still counts instead of raising from a
+        # mere count.
+        fill(store, 2)
+        path = store.shard_paths()[0]
+        path.write_text(path.read_text() + "{not json\n")
+        assert len(store) == 3
+        with pytest.raises(RunStoreError):
             list(store.records())
 
 
@@ -108,3 +119,19 @@ class TestRawBlobs:
         (read,) = list(store.records())
         assert read.raw_ref is None
         assert store.load_raw(read) is None
+
+    def test_shared_fingerprint_blobs_do_not_collide(self, store):
+        # Regression: raw blobs used to be keyed by spec fingerprint alone,
+        # so two records sharing a fingerprint (same spec, different job
+        # identity — the cache re-stamping case) overwrote each other's raw
+        # metrics.  Blobs are keyed by the full record key now.
+        first = store.append(
+            make_record(key="sweep-a/num_nodes=9/spms"), raw={"delays_ms": [1.0]}
+        )
+        second = store.append(
+            make_record(key="sweep-b/num_nodes=9/spms"), raw={"delays_ms": [2.0]}
+        )
+        assert first.spec_fingerprint == second.spec_fingerprint
+        assert first.raw_ref != second.raw_ref
+        assert store.load_raw(first) == {"delays_ms": [1.0]}
+        assert store.load_raw(second) == {"delays_ms": [2.0]}

@@ -1,0 +1,87 @@
+"""Concurrent-writer stress: N processes append to one store at once.
+
+Every append takes the store's advisory file lock and re-validates the
+cached tail state under it, so simultaneous writers — fleet CLI runs
+sharing a ``--run-dir``, executor parents, a future sweep coordinator —
+must never lose records, duplicate index entries or corrupt shards.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.results import RunStore
+
+from tests.results.test_record import make_record
+from tests.results.test_store_index import fp, read_sidecar
+
+WRITERS = 4
+APPENDS = 25
+
+
+def _writer(root, writer_index, barrier):
+    """One writer process: open the shared store and hammer appends."""
+    store = RunStore(root, records_per_shard=7)
+    barrier.wait(timeout=60)
+    for i in range(APPENDS):
+        store.append(
+            make_record(
+                key=f"w{writer_index}/{i:04d}",
+                spec_fingerprint=fp(writer_index),
+                axes={"writer": writer_index, "i": i},
+            )
+        )
+
+
+@pytest.fixture(scope="module")
+def stressed_root(tmp_path_factory):
+    """A store root that WRITERS processes have each appended APPENDS into."""
+    root = tmp_path_factory.mktemp("concurrency") / "run"
+    context = multiprocessing.get_context("fork")
+    barrier = context.Barrier(WRITERS)
+    processes = [
+        context.Process(target=_writer, args=(root, w, barrier))
+        for w in range(WRITERS)
+    ]
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join(timeout=120)
+    assert all(process.exitcode == 0 for process in processes)
+    return root
+
+
+class TestConcurrentWriters:
+    def test_no_record_is_lost(self, stressed_root):
+        store = RunStore(stressed_root, records_per_shard=7)
+        records = list(store.records())
+        assert len(records) == WRITERS * APPENDS
+        assert len(store) == WRITERS * APPENDS
+        keys = {record.key for record in records}
+        assert keys == {
+            f"w{w}/{i:04d}" for w in range(WRITERS) for i in range(APPENDS)
+        }
+
+    def test_no_duplicate_index_entries(self, stressed_root):
+        entries = read_sidecar(stressed_root)
+        assert len(entries) == WRITERS * APPENDS
+        locations = {(e["shard"], e["offset"]) for e in entries}
+        assert len(locations) == len(entries)
+
+    def test_records_by_fingerprint_is_complete(self, stressed_root):
+        store = RunStore(stressed_root, records_per_shard=7)
+        for writer in range(WRITERS):
+            matches = store.records_by_fingerprint(fp(writer))
+            assert len(matches) == APPENDS
+            assert {record.axes["i"] for record in matches} == set(range(APPENDS))
+
+    def test_shards_rolled_over_consistently(self, stressed_root):
+        store = RunStore(stressed_root, records_per_shard=7)
+        counts = [
+            sum(1 for _ in path.open()) for path in store.shard_paths()
+        ]
+        # Every shard but the tail is exactly full: writers agreed on the
+        # roll-over points even though their appends interleaved.
+        assert all(count == 7 for count in counts[:-1])
+        assert sum(counts) == WRITERS * APPENDS
+        assert not store.partial_paths()

@@ -1,11 +1,11 @@
-"""Tests for the RunStore fingerprint -> shard-offset manifest index."""
+"""Tests for the RunStore fingerprint -> shard-offset sidecar index."""
 
 import json
 
 import pytest
 
-from repro.results import RunStore, RunStoreError
-from repro.results.store import INDEX_KEY, MANIFEST_NAME
+from repro.results import RESULTS_SCHEMA_VERSION, RunStore, RunStoreError
+from repro.results.store import INDEX_KEY, INDEX_NAME, MANIFEST_NAME
 
 from tests.results.test_record import make_record
 
@@ -32,31 +32,50 @@ def fill(store, count):
     ]
 
 
+def read_sidecar(root):
+    return [
+        json.loads(line)
+        for line in (root / INDEX_NAME).read_text().splitlines()
+        if line
+    ]
+
+
 class TestIndexWrites:
-    def test_fresh_store_manifest_carries_the_index(self, store):
+    def test_sidecar_carries_one_entry_per_record(self, store):
         fill(store, 5)  # records_per_shard=2 -> shards of 2, 2, 1
+        entries = read_sidecar(store.root)
+        assert [e["fingerprint"] for e in entries] == [fp(i) for i in range(5)]
+        assert entries[0] == {"fingerprint": fp(0), "shard": 0, "offset": 0}
+        assert entries[4]["shard"] == 2 and entries[4]["offset"] == 0
+
+    def test_manifest_no_longer_embeds_the_index(self, store):
+        fill(store, 3)
         manifest = json.loads((store.root / MANIFEST_NAME).read_text())
-        index = manifest[INDEX_KEY]
-        assert sorted(index) == sorted(fp(i) for i in range(5))
-        # One location per record, pointing at the right shard.
-        assert index[fp(0)] == [[0, 0]]
-        (shard, offset), = index[fp(4)]
-        assert shard == 2 and offset == 0
+        assert INDEX_KEY not in manifest
+        assert manifest["schema_version"] == RESULTS_SCHEMA_VERSION
+
+    def test_appends_never_rewrite_the_manifest(self, store):
+        fill(store, 1)
+        manifest_path = store.root / MANIFEST_NAME
+        before = manifest_path.stat().st_mtime_ns
+        fill(store, 4)
+        assert manifest_path.stat().st_mtime_ns == before
 
     def test_duplicate_fingerprints_accumulate_locations(self, store):
         record = make_record(spec_fingerprint=fp(1))
         store.append(record)
         store.append(record)
-        manifest = json.loads((store.root / MANIFEST_NAME).read_text())
-        assert len(manifest[INDEX_KEY][fp(1)]) == 2
+        entries = read_sidecar(store.root)
+        assert len(entries) == 2
+        assert {e["fingerprint"] for e in entries} == {fp(1)}
+        assert len({(e["shard"], e["offset"]) for e in entries}) == 2
 
     def test_reopened_store_keeps_indexing(self, store):
         fill(store, 3)
         reopened = RunStore(store.root, records_per_shard=2)
         reopened.append(make_record(key="later", spec_fingerprint=fp(9)))
-        manifest = json.loads((store.root / MANIFEST_NAME).read_text())
-        assert fp(9) in manifest[INDEX_KEY]
-        assert sorted(manifest[INDEX_KEY]) == sorted([*(fp(i) for i in range(3)), fp(9)])
+        entries = read_sidecar(store.root)
+        assert [e["fingerprint"] for e in entries] == [*(fp(i) for i in range(3)), fp(9)]
 
 
 class TestIndexedReads:
@@ -79,6 +98,17 @@ class TestIndexedReads:
         with pytest.raises(RunStoreError):
             list(fresh.records())
 
+    def test_reader_sees_entries_appended_by_another_store_handle(self, store):
+        fill(store, 2)
+        reader = RunStore(store.root, records_per_shard=2)
+        (got,) = reader.records_by_fingerprint(fp(1))
+        assert got.axes == {"num_nodes": 1}
+        # A second writer handle appends; the same reader must see it.
+        writer = RunStore(store.root, records_per_shard=2)
+        writer.append(make_record(key="later", spec_fingerprint=fp(7)))
+        (late,) = reader.records_by_fingerprint(fp(7))
+        assert late.key == "later"
+
     def test_query_by_fingerprint_applies_remaining_filters(self, store):
         fill(store, 4)
         assert len(store.query(spec_fingerprint=fp(2))) == 1
@@ -90,42 +120,87 @@ class TestIndexedReads:
 
 
 class TestLegacyStores:
-    def _make_legacy(self, tmp_path):
-        """A store whose manifest predates the index (the pre-PR-4 layout)."""
-        root = tmp_path / "legacy"
+    """Stores written under schema v1 stay readable and migrate on write."""
+
+    def _strip_to_v1(self, root, keep_index=True):
+        """Rewrite a freshly-written store into the v1 on-disk layout."""
         store = RunStore(root, records_per_shard=2)
         fill(store, 3)
+        entries = read_sidecar(root)
         manifest = json.loads((root / MANIFEST_NAME).read_text())
-        manifest.pop(INDEX_KEY)
+        manifest["schema_version"] = 1
+        if keep_index:
+            index = {}
+            for entry in entries:
+                index.setdefault(entry["fingerprint"], []).append(
+                    [entry["shard"], entry["offset"]]
+                )
+            manifest[INDEX_KEY] = index
         (root / MANIFEST_NAME).write_text(json.dumps(manifest))
+        (root / INDEX_NAME).unlink()
         return root
 
-    def test_legacy_store_reads_fall_back_to_scanning(self, tmp_path):
-        root = self._make_legacy(tmp_path)
+    def test_manifest_index_store_reads_without_migration(self, tmp_path):
+        root = self._strip_to_v1(tmp_path / "legacy", keep_index=True)
+        store = RunStore(root, records_per_shard=2)
+        (got,) = store.records_by_fingerprint(fp(1))
+        assert got.axes == {"num_nodes": 1}
+        # Reading is read-only: no sidecar appears, the manifest stays v1.
+        assert not (root / INDEX_NAME).exists()
+        assert json.loads((root / MANIFEST_NAME).read_text())["schema_version"] == 1
+
+    def test_preindex_store_reads_fall_back_to_scanning(self, tmp_path):
+        root = self._strip_to_v1(tmp_path / "legacy", keep_index=False)
         store = RunStore(root, records_per_shard=2)
         (got,) = store.records_by_fingerprint(fp(1))
         assert got.axes == {"num_nodes": 1}
         assert len(store.query(spec_fingerprint=fp(0))) == 1
+        assert not (root / INDEX_NAME).exists()
 
-    def test_appends_to_legacy_store_never_build_a_partial_index(self, tmp_path):
-        root = self._make_legacy(tmp_path)
+    @pytest.mark.parametrize("keep_index", (True, False))
+    def test_first_write_migrates_to_the_sidecar(self, tmp_path, keep_index):
+        root = self._strip_to_v1(tmp_path / "legacy", keep_index=keep_index)
         store = RunStore(root, records_per_shard=2)
         store.append(make_record(key="later", spec_fingerprint=fp(9)))
+        # The one-shot migration rebuilt the *complete* index — the three
+        # legacy records included — moved it out of the manifest, and
+        # brought the manifest to the current schema.
+        entries = read_sidecar(root)
+        assert [e["fingerprint"] for e in entries] == [*(fp(i) for i in range(3)), fp(9)]
         manifest = json.loads((root / MANIFEST_NAME).read_text())
-        # Indexing only fp(9) would hide the three legacy records from
-        # indexed reads, so the store must stay scan-only.
         assert INDEX_KEY not in manifest
-        assert len(list(store.records())) == 4
-        (got,) = store.records_by_fingerprint(fp(9))
-        assert got.key == "later"
+        assert manifest["schema_version"] == RESULTS_SCHEMA_VERSION
+        for i in (0, 1, 2, 9):
+            (got,) = store.records_by_fingerprint(fp(i))
+            assert got.spec_fingerprint == fp(i)
 
-    def test_manifestless_directory_with_shards_stays_legacy(self, tmp_path):
+    def test_manifestless_directory_with_shards_migrates(self, tmp_path):
         root = tmp_path / "run"
         store = RunStore(root, records_per_shard=2)
         fill(store, 2)
         (root / MANIFEST_NAME).unlink()
+        (root / INDEX_NAME).unlink()
         reopened = RunStore(root, records_per_shard=2)
         reopened.append(make_record(key="later", spec_fingerprint=fp(9)))
-        manifest = json.loads((root / MANIFEST_NAME).read_text())
-        assert INDEX_KEY not in manifest
         assert len(list(reopened.records())) == 3
+        entries = read_sidecar(root)
+        assert [e["fingerprint"] for e in entries] == [fp(0), fp(1), fp(9)]
+        assert json.loads((root / MANIFEST_NAME).read_text())[
+            "schema_version"
+        ] == RESULTS_SCHEMA_VERSION
+
+    def test_v1_record_lines_keep_loading(self, tmp_path):
+        root = tmp_path / "run"
+        store = RunStore(root, records_per_shard=2)
+        fill(store, 1)
+        # Rewrite the stored line as a v1 record (identical field set).
+        path = store.shard_paths()[0]
+        payload = json.loads(path.read_text())
+        payload["schema_version"] = 1
+        path.write_text(json.dumps(payload, sort_keys=True) + "\n")
+        fresh = RunStore(root, records_per_shard=2)
+        (got,) = list(fresh.records())
+        assert got.spec_fingerprint == fp(0)
+        # ...and appending after it indexes both generations.
+        fresh.append(make_record(key="later", spec_fingerprint=fp(9)))
+        assert [e["fingerprint"] for e in read_sidecar(root)] == [fp(0), fp(9)]
