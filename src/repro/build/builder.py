@@ -41,13 +41,9 @@ from repro.radio.energy import EnergyModel
 from repro.routing.manager import RoutingManager
 from repro.sim.engine import Simulator
 from repro.topology.field import SensorField
+from repro.topology.placement import PLACEMENT_STREAM
 from repro.topology.zone import ZoneMap
 from repro.workload.base import ScheduledItem, Workload
-
-#: Random stream consumed by stochastic placements.  Deterministic placements
-#: (the grid) never draw from it, so adding the stream changed no existing
-#: run's byte-level results.
-PLACEMENT_STREAM = "topology.placement"
 
 
 class SimulationBuilder:

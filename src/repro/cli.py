@@ -20,6 +20,9 @@ code:
 * ``bench``     — run a named kernel benchmark serially in-process and append
   a schema-versioned throughput record (events/sec, wall time, canonical
   digest, git metadata) to ``BENCH_kernel.json``.
+* ``lint``      — run the AST-based determinism/invariant linter
+  (``repro lint src tests``); non-zero exit on new findings, so CI can gate
+  on it.
 * ``figure``    — regenerate one of the paper's figures and print its rows.
 * ``list-figures`` — list the available figure names.
 * ``table1``    — print the Table 1 parameter set.
@@ -293,6 +296,46 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--json", action="store_true", dest="as_json",
         help="print the full bench record as JSON",
+    )
+
+    lint = subparsers.add_parser(
+        "lint", help="run the AST-based determinism/invariant linter"
+    )
+    lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: [tool.repro-lint] "
+             "paths in pyproject.toml, else src)",
+    )
+    lint.add_argument(
+        "--select", action="append", default=[], metavar="RULES",
+        help="comma-separated rule-id prefixes to run (e.g. D,S201); "
+             "default: every registered rule",
+    )
+    lint.add_argument(
+        "--ignore", action="append", default=[], metavar="RULES",
+        help="comma-separated rule-id prefixes to skip",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline file of grandfathered findings (default: the "
+             "[tool.repro-lint] baseline, if configured)",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to --baseline and exit 0 "
+             "(migration aid; the policy is an empty baseline at HEAD)",
+    )
+    lint.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="project root (default: nearest ancestor with pyproject.toml)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rules and exit",
+    )
+    lint.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the machine-readable report instead of text",
     )
 
     figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
@@ -678,6 +721,77 @@ def _cmd_bench(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     return 0
 
 
+def _split_rule_args(values: Sequence[str]) -> Tuple[str, ...]:
+    """Flatten repeated/comma-separated ``--select``/``--ignore`` values."""
+    rules: List[str] = []
+    for value in values:
+        rules.extend(token.strip() for token in value.split(",") if token.strip())
+    return tuple(rules)
+
+
+def _cmd_lint(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    # Imported here so `repro lint` stays self-contained: the linter runs on
+    # stdlib ast only and never pulls the simulation stack into memory.
+    from repro.lint import (
+        BaselineError,
+        default_registry,
+        find_project_root,
+        load_config,
+        render_json,
+        render_text,
+        run_lint,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        registry = default_registry()
+        for rule_id in registry.available():
+            registration = registry.lookup(rule_id)
+            out(f"{rule_id}  {registration.name:<24} {registration.description}")
+        return 0
+    if args.root is not None:
+        root = Path(args.root)
+        if not root.is_dir():
+            out(f"project root not found: {root}")
+            return 2
+    else:
+        anchor = Path(args.paths[0]) if args.paths else Path.cwd()
+        root = find_project_root(anchor if anchor.exists() else Path.cwd())
+    config = load_config(
+        root,
+        paths=tuple(args.paths),
+        select=_split_rule_args(args.select),
+        ignore=_split_rule_args(args.ignore),
+        baseline=args.baseline,
+    )
+    if args.write_baseline:
+        if config.baseline_path() is None:
+            out("--write-baseline needs --baseline (or a configured baseline path)")
+            return 2
+        # Findings are recomputed without the existing baseline applied, so
+        # rewriting is idempotent and complete.
+        bare = dataclasses.replace(config, baseline=None)
+        report = run_lint(bare)
+        if report.errors:
+            for error in report.errors:
+                out(f"error: {error}")
+            return 2
+        count = write_baseline(config.baseline_path(), report.findings)
+        out(f"baseline written to {config.baseline_path()} ({count} finding(s))")
+        return 0
+    try:
+        report = run_lint(config)
+    except BaselineError as exc:
+        out(str(exc))
+        return 2
+    if args.as_json:
+        out(render_json(report))
+    else:
+        for line in render_text(report):
+            out(line)
+    return report.exit_code
+
+
 def _cmd_figure(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     if args.name in ANALYTICAL_FIGURES:
         generator, description = ANALYTICAL_FIGURES[args.name]
@@ -722,6 +836,8 @@ def main(argv: Optional[Sequence[str]] = None, out: Callable[[str], None] = prin
         return _cmd_sweep(args, out)
     if args.command == "bench":
         return _cmd_bench(args, out)
+    if args.command == "lint":
+        return _cmd_lint(args, out)
     if args.command == "figure":
         return _cmd_figure(args, out)
     if args.command == "list-figures":

@@ -17,7 +17,7 @@ can assert the direction (and rough magnitude) of every claim.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from repro.experiments.results import ScenarioResult, SweepResult
 

@@ -9,7 +9,7 @@ scale.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Dict, Mapping, Optional, Type, TypeVar
 
 from repro.mac.contention import ContentionModel

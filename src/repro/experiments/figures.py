@@ -14,7 +14,7 @@ sizes.  ``EXPERIMENTS.md`` records which scale produced the recorded numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.delay_model import delay_ratio_series

@@ -28,7 +28,7 @@ from __future__ import annotations
 import dataclasses
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.experiments.config import FailureConfig, MobilityConfig, SimulationConfig
 from repro.experiments.scenarios import (

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, Sequence
+from typing import Protocol, Sequence
 
 from repro.faults.models import TransientFailureModel
 from repro.sim.engine import Simulator

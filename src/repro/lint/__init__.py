@@ -1,0 +1,86 @@
+"""``repro.lint`` — the AST-based determinism & invariant linter.
+
+The runtime guarantees this repository leans on (byte-identical metrics
+across serial/parallel runs and fast-path/oracle pairs) are enforced
+dynamically by the differential suites and digest pins — but a differential
+suite takes minutes to say what a static check can say in milliseconds.
+This package is that static check: a pluggable rule framework
+(:mod:`repro.lint.framework`) over one shared per-file AST/symbol pass
+(:mod:`repro.lint.symbols`), with three built-in rule families:
+
+* **D-rules** (:mod:`repro.lint.rules_determinism`) — determinism hazards
+  in the simulation layers: stdlib entropy, wall-clock reads, hash-ordered
+  set iteration, ``id()``/``hash()`` ordering.
+* **S-rules** (:mod:`repro.lint.rules_slots`) — declared hot-path classes
+  must keep ``__slots__``.
+* **C-rules** (:mod:`repro.lint.rules_policy`) — cross-module policy: the
+  oracle's fast-path switches must resolve, and every ``*_SCHEMA_VERSION``
+  constant must be pinned by a test.
+
+Entry points: ``repro lint`` on the command line, :func:`run_lint` from
+code.  Findings are silenced per line with ``# repro-lint: disable=RULE``
+plus a justification, or grandfathered in a committed baseline file
+(:mod:`repro.lint.baseline`) during migrations.
+"""
+
+from repro.lint.baseline import (
+    LINT_BASELINE_SCHEMA_VERSION,
+    BaselineError,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.config import (
+    SIM_LAYERS,
+    SLOTS_CLASSES,
+    LintConfig,
+    find_project_root,
+    load_config,
+)
+from repro.lint.engine import LintReport, Project, SourceFile, parse_source, run_lint
+from repro.lint.framework import (
+    DuplicateRuleError,
+    FileRule,
+    Finding,
+    ProjectRule,
+    Rule,
+    RuleRegistry,
+    Severity,
+    default_registry,
+    rule,
+)
+from repro.lint.reporting import (
+    LINT_REPORT_SCHEMA_VERSION,
+    render_json,
+    render_text,
+    report_to_dict,
+)
+
+__all__ = [
+    "BaselineError",
+    "DuplicateRuleError",
+    "FileRule",
+    "Finding",
+    "LINT_BASELINE_SCHEMA_VERSION",
+    "LINT_REPORT_SCHEMA_VERSION",
+    "LintConfig",
+    "LintReport",
+    "Project",
+    "ProjectRule",
+    "Rule",
+    "RuleRegistry",
+    "SIM_LAYERS",
+    "SLOTS_CLASSES",
+    "Severity",
+    "SourceFile",
+    "default_registry",
+    "find_project_root",
+    "load_baseline",
+    "load_config",
+    "parse_source",
+    "render_json",
+    "render_text",
+    "report_to_dict",
+    "rule",
+    "run_lint",
+    "write_baseline",
+]

@@ -1,0 +1,80 @@
+"""Baseline files: committed grandfathered findings.
+
+A baseline is a JSON document mapping finding fingerprints to a readable
+summary of what was grandfathered::
+
+    {
+      "lint_baseline_schema_version": 1,
+      "findings": {
+        "1f2e3d4c5b6a7988": "src/repro/foo.py: D101 direct use of 'random'"
+      }
+    }
+
+Fingerprints hash the rule id, path, message and the *text* of the offending
+line (not its number), so unrelated edits above a grandfathered finding do
+not resurrect it, while any edit to the offending line itself does — exactly
+the "you touched it, you fix it" contract.  The policy for this repository
+is an **empty baseline at HEAD**: the file format exists for mid-migration
+states (adopting a new rule over a large tree), not as a parking lot.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Sequence, Set
+
+from repro.lint.framework import Finding
+
+#: Bump when the baseline file layout changes incompatibly (same policy as
+#: the other ``*_SCHEMA_VERSION`` constants; the C-rules enforce that a test
+#: references this name).
+LINT_BASELINE_SCHEMA_VERSION = 1
+
+_SCHEMA_KEY = "lint_baseline_schema_version"
+
+
+class BaselineError(ValueError):
+    """The baseline file is unreadable or has an unsupported layout."""
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """The set of grandfathered fingerprints in *path* (empty if absent)."""
+    if not path.is_file():
+        return set()
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or _SCHEMA_KEY not in data:
+        raise BaselineError(f"baseline {path} is missing {_SCHEMA_KEY!r}")
+    version = data[_SCHEMA_KEY]
+    if version != LINT_BASELINE_SCHEMA_VERSION:
+        raise BaselineError(
+            f"baseline {path} has schema version {version!r}; "
+            f"this build reads version {LINT_BASELINE_SCHEMA_VERSION}"
+        )
+    findings = data.get("findings", {})
+    if not isinstance(findings, dict):
+        raise BaselineError(f"baseline {path}: 'findings' must be an object")
+    return set(findings)
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> int:
+    """Write *findings* as the new baseline; returns the entry count.
+
+    Entries are keyed by fingerprint with a human-readable summary as the
+    value, so baseline diffs review like code.
+    """
+    entries: Dict[str, str] = {}
+    for finding in findings:
+        entries[finding.fingerprint] = (
+            f"{finding.path}: {finding.rule} {finding.message}"
+        )
+    payload = {
+        _SCHEMA_KEY: LINT_BASELINE_SCHEMA_VERSION,
+        "findings": dict(sorted(entries.items())),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n", encoding="utf-8")
+    return len(entries)

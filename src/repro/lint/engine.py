@@ -1,0 +1,267 @@
+"""Lint engine: file collection, the shared parse pass, rule execution.
+
+One run is::
+
+    config  = load_config(project_root, paths=["src"])
+    report  = run_lint(config)
+    report.exit_code  # 0 clean, 1 findings, 2 usage error
+
+Each collected file is parsed exactly once; the AST, raw lines and the
+resolved-import/symbol pass (:mod:`repro.lint.symbols`) are shared by every
+rule through :class:`SourceFile`.  Project rules additionally see lazily
+parsed out-of-scope files (the oracle harness, the tests tree) through
+:meth:`Project.parse_external` / :meth:`Project.tests_files`.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.baseline import load_baseline
+from repro.lint.config import LintConfig
+from repro.lint.framework import (
+    Finding,
+    Rule,
+    RuleRegistry,
+    Severity,
+    default_registry,
+)
+from repro.lint.suppress import SuppressionIndex, apply_suppressions, scan_suppressions
+from repro.lint.symbols import SymbolTable, build_symbol_table
+
+
+@dataclass
+class SourceFile:
+    """One parsed module plus everything the rules share about it."""
+
+    path: Path
+    relpath: str
+    text: str
+    lines: Tuple[str, ...]
+    tree: Optional[ast.Module]
+    symbols: SymbolTable
+    suppressions: SuppressionIndex
+    layer: Optional[str]
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+
+def _classify_layer(relpath: str) -> Optional[str]:
+    """The ``repro`` package layer a file belongs to, if any.
+
+    ``src/repro/mac/delay.py`` -> ``"mac"``; files outside ``repro`` (tests,
+    benchmarks, scripts) classify as ``None`` and are skipped by the
+    layer-scoped rule families.
+    """
+    parts = Path(relpath).parts
+    if "repro" not in parts:
+        return None
+    index = parts.index("repro")
+    remainder = parts[index + 1 :]
+    if len(remainder) < 2:
+        return None  # top-level modules like repro/cli.py
+    return remainder[0]
+
+
+def parse_source(path: Path, relpath: str) -> SourceFile:
+    """Parse one file into a :class:`SourceFile` (tree ``None`` on a syntax error)."""
+    text = path.read_text(encoding="utf-8")
+    lines = tuple(text.splitlines())
+    try:
+        tree: Optional[ast.Module] = ast.parse(text, filename=str(path))
+    except SyntaxError:
+        tree = None
+    symbols = build_symbol_table(tree) if tree is not None else SymbolTable()
+    return SourceFile(
+        path=path,
+        relpath=relpath,
+        text=text,
+        lines=lines,
+        tree=tree,
+        symbols=symbols,
+        suppressions=scan_suppressions(lines),
+        layer=_classify_layer(relpath),
+    )
+
+
+class Project:
+    """The lint run's view of the repository."""
+
+    def __init__(self, config: LintConfig, files: List[SourceFile]) -> None:
+        self.config = config
+        self.files = files
+        self._external: Dict[str, Optional[SourceFile]] = {}
+        self._tests_files: Optional[List[SourceFile]] = None
+
+    @property
+    def root(self) -> Path:
+        return self.config.project_root
+
+    def relpath(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.root).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    def find(self, relpath: str) -> Optional[SourceFile]:
+        """The in-scope file at *relpath*, if it was collected."""
+        for source in self.files:
+            if source.relpath == relpath:
+                return source
+        return None
+
+    def parse_external(self, relpath: str) -> Optional[SourceFile]:
+        """Parse a file by project-relative path even when out of scope.
+
+        In-scope files are returned from the already-parsed set; external
+        ones are parsed once and memoised.  Returns ``None`` when the file
+        does not exist.
+        """
+        in_scope = self.find(relpath)
+        if in_scope is not None:
+            return in_scope
+        if relpath not in self._external:
+            path = self.root / relpath
+            self._external[relpath] = (
+                parse_source(path, relpath) if path.is_file() else None
+            )
+        return self._external[relpath]
+
+    def module_file(self, module: str) -> Optional[SourceFile]:
+        """The source file of dotted module *module* under the src root."""
+        base = Path(self.config.src_root) / Path(*module.split("."))
+        for candidate in (base.with_suffix(".py"), base / "__init__.py"):
+            source = self.parse_external(candidate.as_posix())
+            if source is not None:
+                return source
+        return None
+
+    def tests_files(self) -> List[SourceFile]:
+        """Every parsed file under the tests root (lazily, memoised)."""
+        if self._tests_files is None:
+            tests_root = self.root / self.config.tests_root
+            collected: List[SourceFile] = []
+            if tests_root.is_dir():
+                for path in sorted(tests_root.rglob("*.py")):
+                    relpath = self.relpath(path)
+                    source = self.find(relpath) or self.parse_external(relpath)
+                    if source is not None:
+                        collected.append(source)
+            self._tests_files = collected
+        return self._tests_files
+
+
+def collect_files(config: LintConfig) -> Tuple[List[Tuple[Path, str]], List[str]]:
+    """Expand the configured paths into (path, relpath) pairs.
+
+    Returns the files plus a list of user errors (missing paths).  Results
+    are sorted by relpath so runs are order-independent of the filesystem.
+    """
+    root = config.project_root
+    errors: List[str] = []
+    seen: Dict[str, Path] = {}
+    for entry in config.paths:
+        path = Path(entry)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_file():
+            candidates = [path]
+        elif path.is_dir():
+            candidates = sorted(p for p in path.rglob("*.py") if p.is_file())
+        else:
+            errors.append(f"lint path not found: {entry}")
+            continue
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            try:
+                relpath = candidate.resolve().relative_to(root).as_posix()
+            except ValueError:
+                relpath = candidate.as_posix()
+            if any(fnmatch.fnmatch(relpath, pattern) for pattern in config.exclude):
+                continue
+            seen.setdefault(relpath, candidate)
+    return [(seen[relpath], relpath) for relpath in sorted(seen)], errors
+
+
+@dataclass
+class LintReport:
+    """Everything one run produced, pre-partitioned for reporting."""
+
+    config: LintConfig
+    files_checked: int
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    rules_run: Tuple[str, ...] = ()
+
+    @property
+    def exit_code(self) -> int:
+        if self.errors:
+            return 2
+        if any(f.severity is Severity.ERROR for f in self.findings):
+            return 1
+        return 0
+
+
+def run_lint(
+    config: LintConfig,
+    registry: Optional[RuleRegistry] = None,
+) -> LintReport:
+    """Execute one lint run under *config* and return the report."""
+    registry = registry or default_registry()
+    pairs, errors = collect_files(config)
+    files = [parse_source(path, relpath) for path, relpath in pairs]
+    project = Project(config, files)
+
+    rules: List[Rule] = registry.instantiate(config.select, config.ignore)
+    findings: List[Finding] = []
+    for source in files:
+        if source.tree is None:
+            findings.append(
+                Finding(
+                    rule="E001",
+                    severity=Severity.ERROR,
+                    path=source.relpath,
+                    line=1,
+                    col=0,
+                    message="file does not parse (syntax error)",
+                    line_text=source.line_text(1),
+                )
+            )
+    for rule_instance in rules:
+        findings.extend(rule_instance.check(project))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    indexes = {source.relpath: source.suppressions for source in files}
+    kept, suppressed = apply_suppressions(findings, indexes)
+
+    baselined: List[Finding] = []
+    baseline_path = config.baseline_path()
+    if baseline_path is not None:
+        known = load_baseline(baseline_path)
+        fresh = []
+        for finding in kept:
+            if finding.fingerprint in known:
+                baselined.append(finding)
+            else:
+                fresh.append(finding)
+        kept = fresh
+
+    return LintReport(
+        config=config,
+        files_checked=len(files),
+        findings=kept,
+        suppressed=suppressed,
+        baselined=baselined,
+        errors=errors,
+        rules_run=tuple(r.id for r in rules),
+    )

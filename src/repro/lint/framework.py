@@ -1,0 +1,290 @@
+"""Rule framework of the invariant linter.
+
+Rules are pluggable the same way scenario components are
+(:mod:`repro.build.registry`): each rule class registers itself under a
+stable id via the :func:`rule` decorator, and the engine instantiates every
+selected registration per run::
+
+    from repro.lint.framework import FileRule, rule
+
+    @rule("D999", name="no-foo", description="forbid foo() in sim layers")
+    class NoFooRule(FileRule):
+        def check_file(self, source, project):
+            ...
+            yield self.finding(source, node, "call to foo()")
+
+Two base classes fix the calling convention:
+
+* :class:`FileRule` — visited once per parsed source file; sees the shared
+  per-file symbol pass (:class:`repro.lint.symbols.SymbolTable`) through
+  ``source.symbols``.
+* :class:`ProjectRule` — visited once per run with the whole
+  :class:`~repro.lint.engine.Project`; used by cross-module policy rules
+  that have to correlate files (e.g. "every schema constant is referenced
+  from a test").
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, Iterator, List, Optional, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    import ast
+
+    from repro.lint.engine import Project, SourceFile
+
+
+class Severity(enum.Enum):
+    """How a finding gates the run: errors fail the build, notes do not."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location.
+
+    Attributes:
+        rule: Rule id (e.g. ``"D101"``).
+        severity: Gate level of the owning rule.
+        path: Project-root-relative POSIX path of the file.
+        line: 1-based line of the violation (0 for whole-file findings).
+        col: 0-based column.
+        message: Human-readable description of the violation.
+        line_text: The stripped source line, recorded so baseline
+            fingerprints survive pure line-number drift.
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    line_text: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Content-addressed identity used by baseline files.
+
+        Deliberately excludes the line *number*: inserting an unrelated line
+        above a grandfathered finding must not turn it into a "new" one.
+        """
+        material = "\0".join((self.rule, self.path, self.line_text, self.message))
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+
+class Rule:
+    """Base class of every lint rule; concrete rules subclass a flavour below.
+
+    The registry stamps ``id``/``name``/``description``/``severity`` onto the
+    class at registration time, so rule bodies only implement the check.
+    """
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+    severity: Severity = Severity.ERROR
+
+    def check(self, project: "Project") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # Helper shared by all rules: a finding anchored at an AST node.
+    def finding(
+        self,
+        source: "SourceFile",
+        node: Optional["ast.AST"],
+        message: str,
+    ) -> Finding:
+        line = getattr(node, "lineno", 0) if node is not None else 0
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=source.relpath,
+            line=line,
+            col=col,
+            message=message,
+            line_text=source.line_text(line),
+        )
+
+
+class FileRule(Rule):
+    """A rule checked independently against every parsed file."""
+
+    def check(self, project: "Project") -> Iterator[Finding]:
+        for source in project.files:
+            yield from self.check_file(source, project)
+
+    def check_file(self, source: "SourceFile", project: "Project") -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule that correlates the whole project (cross-module policies)."""
+
+
+@dataclass(frozen=True)
+class RuleRegistration:
+    """One registered rule: its id, gate level and implementing class."""
+
+    id: str
+    name: str
+    description: str
+    severity: Severity
+    rule_class: Type[Rule]
+
+
+class DuplicateRuleError(ValueError):
+    """Two rules registered under the same id."""
+
+
+class RuleRegistry:
+    """Maps rule ids to registrations; mirrors ``build.ComponentRegistry``.
+
+    The built-in families register themselves into the module-level default
+    registry on import; tests construct private registries to exercise
+    throwaway rules without leaking global state.
+    """
+
+    def __init__(self) -> None:
+        self._rules: Dict[str, RuleRegistration] = {}
+
+    def add(
+        self,
+        rule_id: str,
+        rule_class: Type[Rule],
+        name: str = "",
+        description: str = "",
+        severity: Severity = Severity.ERROR,
+        replace: bool = False,
+    ) -> RuleRegistration:
+        rule_id = rule_id.strip().upper()
+        if not replace and rule_id in self._rules:
+            raise DuplicateRuleError(
+                f"rule id {rule_id!r} is already registered "
+                f"({self._rules[rule_id].rule_class.__name__})"
+            )
+        registration = RuleRegistration(
+            id=rule_id,
+            name=name or rule_class.__name__,
+            description=description,
+            severity=severity,
+            rule_class=rule_class,
+        )
+        self._rules[rule_id] = registration
+        # Stamp the identity onto the class so instances self-describe.
+        rule_class.id = rule_id
+        rule_class.name = registration.name
+        rule_class.description = description
+        rule_class.severity = severity
+        return registration
+
+    def rule(
+        self,
+        rule_id: str,
+        name: str = "",
+        description: str = "",
+        severity: Severity = Severity.ERROR,
+        replace: bool = False,
+    ) -> Callable[[Type[Rule]], Type[Rule]]:
+        """Decorator form of :meth:`add` (the normal registration spelling)."""
+
+        def decorator(rule_class: Type[Rule]) -> Type[Rule]:
+            self.add(
+                rule_id,
+                rule_class,
+                name=name,
+                description=description,
+                severity=severity,
+                replace=replace,
+            )
+            return rule_class
+
+        return decorator
+
+    def available(self) -> List[str]:
+        return sorted(self._rules)
+
+    def lookup(self, rule_id: str) -> RuleRegistration:
+        rule_id = rule_id.strip().upper()
+        if rule_id not in self._rules:
+            raise KeyError(f"unknown lint rule {rule_id!r}; known: {', '.join(self.available())}")
+        return self._rules[rule_id]
+
+    def select(
+        self,
+        select: Iterable[str] = (),
+        ignore: Iterable[str] = (),
+    ) -> List[RuleRegistration]:
+        """Registrations matching the select/ignore prefixes.
+
+        ``select``/``ignore`` entries are id *prefixes* (``"D"`` selects the
+        whole determinism family, ``"D103"`` one rule); empty ``select``
+        means every registered rule.
+        """
+        chosen = []
+        select = tuple(s.strip().upper() for s in select if s.strip())
+        ignore = tuple(s.strip().upper() for s in ignore if s.strip())
+        for rule_id in self.available():
+            if select and not any(rule_id.startswith(prefix) for prefix in select):
+                continue
+            if any(rule_id.startswith(prefix) for prefix in ignore):
+                continue
+            chosen.append(self._rules[rule_id])
+        return chosen
+
+    def instantiate(
+        self,
+        select: Iterable[str] = (),
+        ignore: Iterable[str] = (),
+    ) -> List[Rule]:
+        return [registration.rule_class() for registration in self.select(select, ignore)]
+
+
+#: Process-wide registry the built-in rule families register into.  Created
+#: eagerly so decorator-time registration and :func:`default_registry` agree
+#: regardless of which module a caller imports first.
+_DEFAULT_REGISTRY = RuleRegistry()
+
+
+def default_registry() -> RuleRegistry:
+    """The registry with every built-in rule family loaded."""
+    # Importing is idempotent (sys.modules), so this is safe to call often.
+    from repro.lint import rules_determinism, rules_policy, rules_slots  # noqa: F401
+
+    return _DEFAULT_REGISTRY
+
+
+def rule(
+    rule_id: str,
+    name: str = "",
+    description: str = "",
+    severity: Severity = Severity.ERROR,
+    replace: bool = False,
+) -> Callable[[Type[Rule]], Type[Rule]]:
+    """Register a rule into the default registry (decorator)."""
+    return _DEFAULT_REGISTRY.rule(
+        rule_id, name=name, description=description, severity=severity, replace=replace
+    )

@@ -1,0 +1,209 @@
+"""C-rules: cross-module policies, mechanized.
+
+Two policies the ROADMAP states in prose become findings here:
+
+* **C301** — the differential-testing harness
+  (``tests/protocols/harness.py::oracle_mode``) flips fast-path switches by
+  monkey-patching attributes (``Network.ADV_FAST_PATH = False``, ...).  A
+  renamed or deleted switch silently turns the oracle into a no-op: the
+  differential suite still passes while comparing the fast path against
+  itself.  This rule resolves every attribute ``oracle_mode`` touches back
+  to a real definition under ``src/``.
+
+* **C302** — "schema bumps travel together": every ``*_SCHEMA_VERSION``
+  constant defined under ``src/`` must be referenced from at least one test
+  under ``tests/``, so no serialized layout can change without a pinned
+  regression noticing.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.engine import Project, SourceFile
+from repro.lint.framework import Finding, ProjectRule, rule
+
+_SCHEMA_CONSTANT = re.compile(r"^[A-Z][A-Z0-9_]*_SCHEMA_VERSION$")
+
+
+def _class_attributes(node: ast.ClassDef) -> Set[str]:
+    """Names defined directly in a class body (attrs, methods, annotations)."""
+    names: Set[str] = set()
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            names.update(t.id for t in stmt.targets if isinstance(t, ast.Name))
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            names.add(stmt.target.id)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.add(stmt.name)
+    return names
+
+
+def _attribute_chain(node: ast.expr) -> Optional[Tuple[str, str]]:
+    """``(base_name, attr)`` of a one-level ``Name.attr`` chain, else ``None``."""
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        return node.value.id, node.attr
+    return None
+
+
+def _dunder_dict_lookup(node: ast.expr) -> Optional[Tuple[str, str]]:
+    """``(base_name, key)`` of a ``Name.__dict__["key"]`` expression."""
+    if not isinstance(node, ast.Subscript):
+        return None
+    chain = _attribute_chain(node.value)
+    if chain is None or chain[1] != "__dict__":
+        return None
+    key = node.slice
+    if isinstance(key, ast.Constant) and isinstance(key.value, str):
+        return chain[0], key.value
+    return None
+
+
+def _collect_oracle_switches(
+    func: ast.FunctionDef,
+) -> List[Tuple[str, str, ast.AST]]:
+    """Every ``base.attr`` the oracle saves, patches or restores."""
+    switches: List[Tuple[str, str, ast.AST]] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            candidates = list(node.targets) + [node.value]
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            candidates = [node.target, node.value]
+        else:
+            continue
+        for expr in candidates:
+            chain = _attribute_chain(expr) or _dunder_dict_lookup(expr)
+            if chain is not None and not chain[1].startswith("__"):
+                switches.append((chain[0], chain[1], expr))
+    return switches
+
+
+@rule(
+    "C301",
+    name="oracle-switches-resolve",
+    description=(
+        "every fast-path switch oracle_mode() patches must resolve to a real "
+        "attribute under src/ (a rename would silently disable the oracle)"
+    ),
+)
+class OracleSwitchesResolveRule(ProjectRule):
+    def check(self, project: Project) -> Iterator[Finding]:
+        harness_path = project.config.harness_path
+        harness = project.parse_external(harness_path)
+        if harness is None or harness.tree is None:
+            yield Finding(
+                rule=self.id,
+                severity=self.severity,
+                path=harness_path,
+                line=0,
+                col=0,
+                message=(
+                    "differential-testing harness not found (or unparseable); "
+                    "the oracle-equality gate has no switches to check"
+                ),
+            )
+            return
+        oracle = next(
+            (
+                node
+                for node in harness.tree.body
+                if isinstance(node, ast.FunctionDef) and node.name == "oracle_mode"
+            ),
+            None,
+        )
+        if oracle is None:
+            yield self.finding(
+                harness, harness.tree, "harness defines no oracle_mode() function"
+            )
+            return
+
+        checked: Set[Tuple[str, str]] = set()
+        for base, attr, node in _collect_oracle_switches(oracle):
+            if (base, attr) in checked:
+                continue
+            checked.add((base, attr))
+            origin = harness.symbols.imports.get(base)
+            if origin is None:
+                continue  # locals (saved_* temporaries) are not switches
+            problem = self._resolve(project, origin, attr)
+            if problem is not None:
+                yield self.finding(
+                    harness,
+                    node,
+                    f"oracle_mode() patches {base}.{attr} but {problem}; the "
+                    "differential suite would compare the fast path against "
+                    "itself",
+                )
+        if not checked:
+            yield self.finding(
+                harness,
+                oracle,
+                "oracle_mode() patches no attributes; every fast path must "
+                "keep an oracle switch",
+            )
+
+    def _resolve(self, project: Project, origin: str, attr: str) -> Optional[str]:
+        """``None`` when ``origin.attr`` exists under src/, else the problem."""
+        module_source = project.module_file(origin)
+        if module_source is not None:
+            if attr in module_source.symbols.module_attributes:
+                return None
+            return f"module {origin!r} defines no attribute {attr!r}"
+        # origin is module.ClassName: the class must define attr itself
+        # (oracle_mode saves via __dict__-adjacent semantics, so inherited
+        # attributes do not count).
+        module, _, class_name = origin.rpartition(".")
+        if not module:
+            return f"cannot resolve {origin!r} to a module under src/"
+        module_source = project.module_file(module)
+        if module_source is None:
+            return f"cannot resolve module {module!r} under src/"
+        for info in module_source.symbols.classes:
+            if info.name == class_name:
+                if attr in _class_attributes(info.node):
+                    return None
+                return f"class {origin!r} defines no attribute {attr!r}"
+        return f"module {module!r} defines no class {class_name!r}"
+
+
+@rule(
+    "C302",
+    name="schema-version-tested",
+    description=(
+        "every *_SCHEMA_VERSION constant under src/ must be referenced by at "
+        "least one test (the 'schema bumps travel together' policy)"
+    ),
+)
+class SchemaVersionTestedRule(ProjectRule):
+    def check(self, project: Project) -> Iterator[Finding]:
+        src_prefix = project.config.src_root.rstrip("/") + "/"
+        definitions: Dict[str, Tuple[SourceFile, ast.AST]] = {}
+        for source in project.files:
+            if not source.relpath.startswith(src_prefix) or source.tree is None:
+                continue
+            for node in source.tree.body:
+                if isinstance(node, ast.Assign):
+                    targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+                elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                    targets = [node.target.id]
+                else:
+                    continue
+                for name in targets:
+                    if _SCHEMA_CONSTANT.match(name):
+                        definitions.setdefault(name, (source, node))
+        if not definitions:
+            return
+        tests = project.tests_files()
+        for name in sorted(definitions):
+            source, node = definitions[name]
+            if any(test.symbols.references(name) for test in tests):
+                continue
+            yield self.finding(
+                source,
+                node,
+                f"schema constant {name} is not referenced by any test under "
+                f"{project.config.tests_root}/; pin the layout (schema bumps "
+                "travel together)",
+            )

@@ -1,0 +1,80 @@
+"""S-rules: declared hot-path classes must keep ``__slots__``.
+
+Each class in :data:`repro.lint.config.SLOTS_CLASSES` earned its slots in a
+measured perf PR (PR 4/5 kernel work); losing them is invisible to every
+functional test — the code still runs, just with a per-instance ``__dict__``
+allocated millions of times per sweep.  This rule turns that silent
+regression into a finding, and also fails when a declared class cannot be
+found at all, so a rename cannot quietly disable the check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.lint.engine import Project, SourceFile
+from repro.lint.framework import Finding, ProjectRule, rule
+from repro.lint.symbols import ClassInfo
+
+
+def _src_scope_covered(project: Project) -> bool:
+    """Whether the run's paths cover the whole src tree.
+
+    The "declared class not found" finding only makes sense when the scan
+    could have seen it; linting a single file must not report every other
+    hot-path class as missing.
+    """
+    root = project.config.project_root.resolve()
+    src_root = (root / project.config.src_root).resolve()
+    for entry in project.config.paths:
+        path = entry if str(entry).startswith("/") else root / entry
+        try:
+            resolved = path.resolve()
+        except OSError:  # pragma: no cover - exotic filesystems
+            continue
+        if resolved == root or resolved == src_root or src_root.is_relative_to(resolved):
+            return True
+    return False
+
+
+@rule(
+    "S201",
+    name="hot-path-slots",
+    description=(
+        "declared hot-path classes (Event, Packet, DataDescriptor, ...) must "
+        "keep __slots__ — explicitly or via @dataclass(slots=True)"
+    ),
+)
+class HotPathSlotsRule(ProjectRule):
+    def check(self, project: Project) -> Iterator[Finding]:
+        declared = project.config.slots_classes
+        found: Dict[str, List[Tuple[SourceFile, ClassInfo]]] = {name: [] for name in declared}
+        for source in project.files:
+            if source.layer is None:
+                continue  # tests/benchmarks may reuse the names freely
+            for info in source.symbols.classes:
+                if info.name in found:
+                    found[info.name].append((source, info))
+        for name in declared:
+            sightings = found[name]
+            for source, info in sightings:
+                if not info.slotted:
+                    yield self.finding(
+                        source,
+                        info.node,
+                        f"hot-path class {name!r} lost __slots__; add an "
+                        "explicit __slots__ tuple or @dataclass(slots=True)",
+                    )
+            if not sightings and _src_scope_covered(project):
+                yield Finding(
+                    rule=self.id,
+                    severity=self.severity,
+                    path=project.config.src_root,
+                    line=0,
+                    col=0,
+                    message=(
+                        f"declared hot-path class {name!r} was not found "
+                        "anywhere under the repro package; update the "
+                        "slots-classes list if it was renamed"
+                    ),
+                )

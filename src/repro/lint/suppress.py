@@ -1,0 +1,78 @@
+"""Inline suppression comments.
+
+A finding is silenced by a justified comment on its own line::
+
+    backoff = random.random()  # repro-lint: disable=D101  calibration shim
+
+or for a whole file (anywhere in the file, conventionally near the top)::
+
+    # repro-lint: disable-file=D103
+
+Multiple ids are comma-separated; ``disable=all`` silences every rule on
+that line.  Suppressions are parsed from raw source lines (not the AST) so
+they keep working next to code the AST pass cannot anchor precisely.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+from repro.lint.framework import Finding
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable|disable-file)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\s]+?)(?=\s\s|\s*#|\s*$)"
+)
+
+
+@dataclass
+class SuppressionIndex:
+    """Per-line and per-file suppressions extracted from one source file."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    file_wide: Set[str] = field(default_factory=set)
+
+    def suppresses(self, finding: Finding) -> bool:
+        for rules in (self.file_wide, self.by_line.get(finding.line, ())):
+            if "ALL" in rules or finding.rule.upper() in rules:
+                return True
+        return False
+
+
+def scan_suppressions(lines: Sequence[str]) -> SuppressionIndex:
+    """Extract every ``# repro-lint: disable`` directive from *lines*."""
+    index = SuppressionIndex()
+    for lineno, line in enumerate(lines, start=1):
+        if "repro-lint" not in line:
+            continue
+        for match in _DIRECTIVE.finditer(line):
+            rules = {
+                token.strip().upper()
+                for token in match.group("rules").split(",")
+                if token.strip()
+            }
+            if not rules:
+                continue
+            if match.group("kind") == "disable-file":
+                index.file_wide |= rules
+            else:
+                index.by_line.setdefault(lineno, set()).update(rules)
+    return index
+
+
+def apply_suppressions(
+    findings: Sequence[Finding],
+    indexes: Dict[str, SuppressionIndex],
+) -> tuple[List[Finding], List[Finding]]:
+    """Split *findings* into (kept, suppressed) using per-path indexes."""
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        index = indexes.get(finding.path)
+        if index is not None and index.suppresses(finding):
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+    return kept, suppressed

@@ -3,10 +3,10 @@
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.metrics.delay import DelayTracker
-from repro.metrics.summary import DistributionSummary, MetricsSummary, summarize
+from repro.metrics.summary import DistributionSummary, MetricsSummary
 from repro.radio.energy import EnergyLedger
 
 

@@ -11,15 +11,25 @@ on grid regularity.
 from __future__ import annotations
 
 import math
-import random
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
+from repro.sim.rng import RandomStreams
 from repro.topology.node import NodeInfo, Position
+
+if TYPE_CHECKING:
+    # Annotation-only: the runtime entropy source is always handed in by the
+    # builder (or derived below via RandomStreams), never stdlib random.
+    import random
 
 #: Default grid spacing in metres.  With the default 20 m transmission radius
 #: this gives each interior node a zone of roughly a dozen neighbours,
 #: matching the 5-50 node zone sizes the paper calls typical.
 DEFAULT_GRID_SPACING_M = 10.0
+
+#: Stream name stochastic placements draw from; the builder passes
+#: ``sim.rng.stream(PLACEMENT_STREAM)`` so placement draws never perturb the
+#: workload/failure/mobility streams.
+PLACEMENT_STREAM = "topology.placement"
 
 
 def grid_placement(
@@ -65,8 +75,11 @@ def random_placement(
         num_nodes: Number of nodes to place.
         density_per_m2: Target density; defaults to one node per
             ``spacing_m ** 2`` square metres.
-        rng: Source of randomness (defaults to a fresh seeded generator so
-            the placement is reproducible).
+        rng: Source of randomness — normally the simulator's dedicated
+            placement stream.  Defaults to the ``PLACEMENT_STREAM`` of a
+            seed-0 :class:`~repro.sim.rng.RandomStreams`, so direct calls
+            stay reproducible and draw through the same machinery as the
+            builder.
         spacing_m: Used only to derive the default density.
 
     Returns:
@@ -79,7 +92,7 @@ def random_placement(
     if density_per_m2 <= 0:
         raise ValueError(f"density must be positive, got {density_per_m2}")
     if rng is None:
-        rng = random.Random(0)
+        rng = RandomStreams(0).stream(PLACEMENT_STREAM)
     area = num_nodes / density_per_m2
     side = math.sqrt(area)
     return [

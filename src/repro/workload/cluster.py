@@ -12,7 +12,7 @@ of Figure 13 comes from.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.core.interests import ExplicitInterest, InterestModel
 from repro.core.metadata import DataItem, intern_descriptor

@@ -15,7 +15,7 @@ from repro.build.registry import CONTENTION, FAILURE, MOBILITY
 from repro.core.spin import SpinNode
 from repro.experiments.config import FailureConfig, MobilityConfig, SimulationConfig
 from repro.experiments.runner import ExperimentRunner, run_scenario
-from repro.experiments.scenarios import ScenarioSpec, all_to_all_scenario
+from repro.experiments.scenarios import all_to_all_scenario
 
 
 @pytest.fixture

@@ -1,7 +1,5 @@
 """Tests for the flooding baseline."""
 
-import pytest
-
 from tests.helpers import build_network, chain_positions
 from repro.core.flooding import FloodingNode
 from repro.core.interests import AllInterested

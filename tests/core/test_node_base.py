@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.interests import ExplicitInterest
 from repro.core.metadata import DataDescriptor, DataItem
 from repro.core.packets import BROADCAST, PacketType
 

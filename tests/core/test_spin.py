@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.packets import PacketType
 
 from tests.helpers import build_network, chain_positions
 

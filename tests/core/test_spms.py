@@ -5,10 +5,6 @@ node B and a farther node C, where the minimum-power route from A to C runs
 through B.
 """
 
-import pytest
-
-from repro.core.packets import PacketType
-
 from tests.helpers import build_network, chain_positions
 
 

@@ -1,7 +1,5 @@
 """Tests for the SPMS future-work extensions (relay caching / cache serving)."""
 
-import pytest
-
 from tests.helpers import build_network, chain_positions
 
 

@@ -4,8 +4,6 @@ Topology of Figure 2: source A with zone neighbours r1, r2 and C, where the
 minimum-power route from A to C is A -> r1 -> r2 -> C.
 """
 
-import pytest
-
 from tests.helpers import build_network, chain_positions
 
 

@@ -1,7 +1,5 @@
 """Tests for result containers."""
 
-import pytest
-
 from repro.results import ScenarioResult, SweepResult
 
 

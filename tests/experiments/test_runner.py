@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.config import FailureConfig, MobilityConfig, SimulationConfig
+from repro.experiments.config import FailureConfig, MobilityConfig
 from repro.experiments.runner import ExperimentRunner, run_scenario
 from repro.experiments.scenarios import (
     all_to_all_scenario,

@@ -1,7 +1,5 @@
 """Tests for scenario builders."""
 
-import pytest
-
 from repro.experiments.config import FailureConfig, MobilityConfig, SimulationConfig
 from repro.experiments.scenarios import (
     all_to_all_scenario,

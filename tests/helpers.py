@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.interests import ExplicitInterest, InterestModel
+from repro.core.interests import ExplicitInterest
 from repro.core.metadata import DataDescriptor, DataItem
 from repro.core.network import Network
 from repro.core.spin import SpinNode

@@ -5,10 +5,6 @@ walks through the failure cases on the Figure 2 topology (A, r1, r2, C).
 These tests assert the externally observable outcomes of those walk-throughs.
 """
 
-import pytest
-
-from repro.core.packets import PacketType
-
 from tests.helpers import build_network, chain_positions
 
 

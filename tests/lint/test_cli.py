@@ -1,0 +1,151 @@
+"""``repro lint`` CLI: JSON schema, exit codes, selection, baselines."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint import LINT_REPORT_SCHEMA_VERSION
+
+
+@pytest.fixture
+def capture():
+    lines = []
+    return lines, lines.append
+
+
+@pytest.fixture
+def fixture_project(tmp_path):
+    (tmp_path / "pyproject.toml").write_text("[project]\nname = 'fixture'\n")
+    bad = tmp_path / "src" / "repro" / "core"
+    bad.mkdir(parents=True)
+    (bad / "snippet.py").write_text("import random\n")
+    return tmp_path
+
+
+def run_lint_cli(fixture_project, capture, *extra):
+    lines, out = capture
+    code = main(
+        ["lint", "--root", str(fixture_project), "--select", "D101", *extra],
+        out=out,
+    )
+    return code, lines
+
+
+class TestExitCodes:
+    def test_findings_exit_1(self, fixture_project, capture):
+        code, lines = run_lint_cli(fixture_project, capture, "src")
+        assert code == 1
+        assert any("D101" in line for line in lines)
+
+    def test_clean_exit_0(self, fixture_project, capture):
+        (fixture_project / "src" / "repro" / "core" / "snippet.py").write_text("x = 1\n")
+        code, lines = run_lint_cli(fixture_project, capture, "src")
+        assert code == 0
+        assert any("0 finding(s)" in line for line in lines)
+
+    def test_missing_path_exit_2(self, fixture_project, capture):
+        code, lines = run_lint_cli(fixture_project, capture, "no-such-dir")
+        assert code == 2
+        assert any("not found" in line for line in lines)
+
+    def test_missing_root_exit_2(self, capture):
+        lines, out = capture
+        assert main(["lint", "--root", "/no/such/root", "src"], out=out) == 2
+
+
+class TestSelection:
+    def test_select_other_family_ignores_finding(self, fixture_project, capture):
+        lines, out = capture
+        code = main(
+            ["lint", "--root", str(fixture_project), "--select", "S999", "src"],
+            out=out,
+        )
+        assert code == 0
+
+    def test_ignore_flag_drops_rule(self, fixture_project, capture):
+        lines, out = capture
+        code = main(
+            [
+                "lint",
+                "--root",
+                str(fixture_project),
+                "--select",
+                "D",
+                "--ignore",
+                "D101",
+                "src",
+            ],
+            out=out,
+        )
+        assert code == 0
+
+    def test_list_rules(self, capture):
+        lines, out = capture
+        assert main(["lint", "--list-rules"], out=out) == 0
+        listed = "\n".join(lines)
+        for rule_id in ("D101", "D102", "D103", "D104", "S201", "C301", "C302"):
+            assert rule_id in listed
+
+
+class TestJsonOutput:
+    def test_json_schema(self, fixture_project, capture):
+        code, lines = run_lint_cli(fixture_project, capture, "src", "--json")
+        assert code == 1
+        payload = json.loads("\n".join(lines))
+        assert payload["lint_report_schema_version"] == LINT_REPORT_SCHEMA_VERSION
+        assert payload["exit_code"] == 1
+        assert payload["files_checked"] == 1
+        assert payload["rules_run"] == ["D101"]
+        assert payload["counts"] == {"findings": 1, "suppressed": 0, "baselined": 0}
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "D101"
+        assert finding["path"] == "src/repro/core/snippet.py"
+        assert finding["line"] == 1
+        assert isinstance(finding["fingerprint"], str) and finding["fingerprint"]
+        assert finding["severity"] == "error"
+
+    def test_json_clean_run(self, fixture_project, capture):
+        (fixture_project / "src" / "repro" / "core" / "snippet.py").write_text("x = 1\n")
+        code, lines = run_lint_cli(fixture_project, capture, "src", "--json")
+        assert code == 0
+        payload = json.loads("\n".join(lines))
+        assert payload["findings"] == []
+        assert payload["exit_code"] == 0
+
+
+class TestBaselineFlow:
+    def test_write_then_gate(self, fixture_project, capture):
+        lines, out = capture
+        code = main(
+            [
+                "lint",
+                "--root",
+                str(fixture_project),
+                "--select",
+                "D101",
+                "--baseline",
+                "lint-baseline.json",
+                "--write-baseline",
+                "src",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert (fixture_project / "lint-baseline.json").is_file()
+
+        code, lines = run_lint_cli(
+            fixture_project, capture, "src", "--baseline", "lint-baseline.json"
+        )
+        assert code == 0
+        assert any("grandfathered" in line for line in lines)
+
+    def test_write_baseline_needs_a_path(self, fixture_project, capture):
+        lines, out = capture
+        code = main(
+            ["lint", "--root", str(fixture_project), "--write-baseline", "src"],
+            out=out,
+        )
+        assert code == 2

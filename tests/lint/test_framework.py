@@ -1,0 +1,97 @@
+"""Rule registry and framework semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import (
+    DuplicateRuleError,
+    FileRule,
+    Finding,
+    RuleRegistry,
+    Severity,
+    default_registry,
+)
+
+
+class _NoopRule(FileRule):
+    def check_file(self, source, project):
+        return iter(())
+
+
+class _OtherRule(FileRule):
+    def check_file(self, source, project):
+        return iter(())
+
+
+class TestRuleRegistry:
+    def test_decorator_registers_and_stamps_identity(self):
+        registry = RuleRegistry()
+
+        @registry.rule("X101", name="noop", description="does nothing")
+        class Stamped(FileRule):
+            def check_file(self, source, project):
+                return iter(())
+
+        assert registry.available() == ["X101"]
+        assert Stamped.id == "X101"
+        assert Stamped.name == "noop"
+        assert Stamped.severity is Severity.ERROR
+        registration = registry.lookup("x101")  # lookup is case-insensitive
+        assert registration.rule_class is Stamped
+
+    def test_duplicate_id_rejected_unless_replace(self):
+        registry = RuleRegistry()
+        registry.add("X101", _NoopRule)
+        with pytest.raises(DuplicateRuleError):
+            registry.add("X101", _OtherRule)
+        registry.add("X101", _OtherRule, replace=True)
+        assert registry.lookup("X101").rule_class is _OtherRule
+
+    def test_unknown_rule_lookup(self):
+        with pytest.raises(KeyError):
+            RuleRegistry().lookup("Z999")
+
+    def test_select_and_ignore_are_prefix_based(self):
+        registry = RuleRegistry()
+        registry.add("D101", _NoopRule)
+        registry.add("D102", _NoopRule)
+        registry.add("S201", _NoopRule)
+        assert [r.id for r in registry.select()] == ["D101", "D102", "S201"]
+        assert [r.id for r in registry.select(select=["D"])] == ["D101", "D102"]
+        assert [r.id for r in registry.select(select=["D102", "S"])] == ["D102", "S201"]
+        assert [r.id for r in registry.select(ignore=["D10"])] == ["S201"]
+        assert [r.id for r in registry.select(select=["D"], ignore=["D102"])] == ["D101"]
+
+    def test_default_registry_has_all_builtin_families(self):
+        available = default_registry().available()
+        assert {"C301", "C302", "D101", "D102", "D103", "D104", "S201"} <= set(available)
+
+
+class TestFinding:
+    def test_fingerprint_ignores_line_number_but_not_text(self):
+        base = dict(
+            rule="D101",
+            severity=Severity.ERROR,
+            path="src/repro/core/x.py",
+            col=0,
+            message="m",
+            line_text="import random",
+        )
+        moved = Finding(line=10, **base)
+        original = Finding(line=3, **base)
+        assert moved.fingerprint == original.fingerprint
+        edited = Finding(line=3, **{**base, "line_text": "import random  # new"})
+        assert edited.fingerprint != original.fingerprint
+
+    def test_render_is_path_line_col_rule(self):
+        finding = Finding(
+            rule="D101",
+            severity=Severity.ERROR,
+            path="src/a.py",
+            line=3,
+            col=4,
+            message="boom",
+        )
+        assert finding.render() == "src/a.py:3:5: D101 boom"
+        assert finding.to_dict()["severity"] == "error"

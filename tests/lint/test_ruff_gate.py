@@ -1,0 +1,55 @@
+"""The ruff layer of the lint gate.
+
+``repro lint`` owns the project-specific determinism/invariant rules; ruff
+owns the generic style and bug-prone-pattern layer (configured in
+``pyproject.toml`` under ``[tool.ruff]``).  CI installs ruff and runs
+``ruff check .`` as part of the blocking lint job; these tests keep the
+configuration honest and — when ruff happens to be installed locally —
+assert the tree is clean, mirroring the CI gate.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+RUFF = shutil.which("ruff")
+
+if sys.version_info >= (3, 11):
+    import tomllib
+else:  # pragma: no cover - exercised on the 3.10 CI leg
+    tomllib = None
+
+
+class TestRuffConfig:
+    def test_pyproject_declares_the_ruff_gate(self):
+        text = (REPO_ROOT / "pyproject.toml").read_text()
+        assert "[tool.ruff]" in text
+        assert "[tool.ruff.lint]" in text
+
+    @pytest.mark.skipif(tomllib is None, reason="tomllib needs Python 3.11+")
+    def test_selected_families_cover_errors_and_flakes(self):
+        with open(REPO_ROOT / "pyproject.toml", "rb") as handle:
+            config = tomllib.load(handle)
+        lint = config["tool"]["ruff"]["lint"]
+        # F (pyflakes: undefined names, unused imports) and E9 (syntax
+        # errors) are the non-negotiable floor.
+        assert {"F", "E9"} <= set(lint["select"])
+
+
+@pytest.mark.skipif(RUFF is None, reason="ruff not installed (CI installs it)")
+class TestRuffClean:
+    def test_ruff_check_is_clean_at_head(self):
+        result = subprocess.run(
+            [RUFF, "check", "."],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr

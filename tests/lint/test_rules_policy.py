@@ -1,0 +1,138 @@
+"""C-rules: oracle switches resolve, schema constants are pinned by tests."""
+
+from __future__ import annotations
+
+from tests.lint.conftest import rule_ids
+
+NETWORK_MODULE = """
+class Network:
+    ADV_FAST_PATH = True
+
+    def send(self):
+        pass
+"""
+
+NODE_BASE_MODULE = """
+from repro.core.cache import DataCache
+"""
+
+CACHE_MODULE = """
+class DataCache:
+    pass
+
+class NaiveDataCache:
+    pass
+"""
+
+HARNESS = """
+import contextlib
+
+from repro.core import node_base as node_base_module
+from repro.core.cache import NaiveDataCache
+from repro.core.network import Network
+
+
+@contextlib.contextmanager
+def oracle_mode():
+    saved_adv = Network.ADV_FAST_PATH
+    saved_cache = node_base_module.DataCache
+    Network.ADV_FAST_PATH = False
+    node_base_module.DataCache = NaiveDataCache
+    try:
+        yield
+    finally:
+        Network.ADV_FAST_PATH = saved_adv
+        node_base_module.DataCache = saved_cache
+"""
+
+
+def write_oracle_project(project, network=NETWORK_MODULE, harness=HARNESS):
+    project.write("src/repro/core/network.py", network)
+    project.write("src/repro/core/node_base.py", NODE_BASE_MODULE)
+    project.write("src/repro/core/cache.py", CACHE_MODULE)
+    project.write("tests/protocols/harness.py", harness)
+
+
+class TestC301OracleSwitches:
+    def test_good_all_switches_resolve(self, project):
+        write_oracle_project(project)
+        report = project.lint(select=["C301"])
+        assert report.findings == []
+
+    def test_bad_renamed_class_attribute(self, project):
+        # The switch the harness flips no longer exists on Network.
+        write_oracle_project(
+            project,
+            network="class Network:\n    ADV_BATCHING = True\n",
+        )
+        report = project.lint(select=["C301"])
+        assert rule_ids(report) == ["C301"]
+        assert "ADV_FAST_PATH" in report.findings[0].message
+
+    def test_bad_module_attribute_gone(self, project):
+        write_oracle_project(project)
+        project.write("src/repro/core/node_base.py", "X = 1\n")
+        report = project.lint(select=["C301"])
+        assert rule_ids(report) == ["C301"]
+        assert "DataCache" in report.findings[0].message
+
+    def test_bad_missing_harness(self, project):
+        project.write("src/repro/core/network.py", NETWORK_MODULE)
+        report = project.lint(select=["C301"])
+        assert rule_ids(report) == ["C301"]
+        assert "harness" in report.findings[0].message
+
+    def test_bad_oracle_mode_patches_nothing(self, project):
+        write_oracle_project(
+            project,
+            harness="def oracle_mode():\n    yield\n",
+        )
+        report = project.lint(select=["C301"])
+        assert rule_ids(report) == ["C301"]
+        assert "no attributes" in report.findings[0].message
+
+    def test_dunder_dict_saves_resolve_like_attributes(self, project):
+        harness = HARNESS.replace(
+            "saved_adv = Network.ADV_FAST_PATH",
+            'saved_adv = Network.__dict__["ADV_FAST_PATH"]',
+        )
+        write_oracle_project(project, harness=harness)
+        report = project.lint(select=["C301"])
+        assert report.findings == []
+
+
+class TestC302SchemaVersions:
+    def test_good_constant_referenced_by_test(self, project):
+        project.write("src/repro/results/record.py", "RESULTS_SCHEMA_VERSION = 2\n")
+        project.write(
+            "tests/results/test_record.py",
+            "from repro.results.record import RESULTS_SCHEMA_VERSION\n",
+        )
+        report = project.lint(select=["C302"])
+        assert report.findings == []
+
+    def test_bad_unreferenced_constant(self, project):
+        project.write("src/repro/results/record.py", "RESULTS_SCHEMA_VERSION = 2\n")
+        project.write("tests/results/test_record.py", "x = 1\n")
+        report = project.lint(select=["C302"])
+        assert rule_ids(report) == ["C302"]
+        assert "RESULTS_SCHEMA_VERSION" in report.findings[0].message
+
+    def test_attribute_references_count(self, project):
+        project.write("src/repro/perf/schema.py", "BENCH_SCHEMA_VERSION = 1\n")
+        project.write(
+            "tests/perf/test_bench.py",
+            "import repro.perf.schema as s\nassert s.BENCH_SCHEMA_VERSION == 1\n",
+        )
+        report = project.lint(select=["C302"])
+        assert report.findings == []
+
+    def test_non_schema_constants_ignored(self, project):
+        project.write("src/repro/core/x.py", "SOME_OTHER_CONSTANT = 3\n")
+        report = project.lint(select=["C302"])
+        assert report.findings == []
+
+    def test_no_tests_tree_means_findings(self, project):
+        project.write("src/repro/core/x.py", "X_SCHEMA_VERSION = 1\n")
+        report = project.lint(select=["C302"])
+        assert rule_ids(report) == ["C302"]

@@ -1,0 +1,93 @@
+"""S-rules: declared hot-path classes keep ``__slots__``."""
+
+from __future__ import annotations
+
+from tests.lint.conftest import rule_ids
+
+# A fixture project declaring a single hot-path class keeps the tests
+# independent of the real SLOTS_CLASSES list.
+DECLARED = ("Event",)
+
+
+class TestS201HotPathSlots:
+    def test_good_explicit_slots(self, project):
+        project.write(
+            "src/repro/sim/events.py",
+            """
+            class Event:
+                __slots__ = ("time", "action")
+            """,
+        )
+        report = project.lint(select=["S201"], slots_classes=DECLARED)
+        assert report.findings == []
+
+    def test_good_dataclass_slots(self, project):
+        project.write(
+            "src/repro/sim/events.py",
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True, slots=True)
+            class Event:
+                time: float
+            """,
+        )
+        report = project.lint(select=["S201"], slots_classes=DECLARED)
+        assert report.findings == []
+
+    def test_bad_lost_slots(self, project):
+        project.write(
+            "src/repro/sim/events.py",
+            """
+            class Event:
+                def __init__(self, time):
+                    self.time = time
+            """,
+        )
+        report = project.lint(select=["S201"], slots_classes=DECLARED)
+        assert rule_ids(report) == ["S201"]
+        assert "lost __slots__" in report.findings[0].message
+
+    def test_bad_dataclass_without_slots(self, project):
+        project.write(
+            "src/repro/sim/events.py",
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Event:
+                time: float
+            """,
+        )
+        report = project.lint(select=["S201"], slots_classes=DECLARED)
+        assert rule_ids(report) == ["S201"]
+
+    def test_bad_declared_class_vanished(self, project):
+        # A rename must not silently disable the check.
+        project.write("src/repro/sim/other.py", "class NotEvent:\n    pass\n")
+        report = project.lint(select=["S201"], slots_classes=DECLARED)
+        assert rule_ids(report) == ["S201"]
+        assert "not found" in report.findings[0].message
+
+    def test_single_file_scope_does_not_report_missing(self, project):
+        # Linting one file cannot see the rest of src/, so only the
+        # lost-slots half of the rule applies.
+        project.write("src/repro/sim/other.py", "class NotEvent:\n    pass\n")
+        report = project.lint(
+            paths=["src/repro/sim/other.py"], select=["S201"], slots_classes=DECLARED
+        )
+        assert report.findings == []
+
+    def test_test_files_may_reuse_declared_names(self, project):
+        project.write(
+            "src/repro/sim/events.py",
+            "class Event:\n    __slots__ = ()\n",
+        )
+        project.write(
+            "tests/test_events.py",
+            "class Event:\n    pass\n",  # unslotted, but out of scope
+        )
+        report = project.lint(
+            paths=["src", "tests"], select=["S201"], slots_classes=DECLARED
+        )
+        assert report.findings == []

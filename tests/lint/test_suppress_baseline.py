@@ -1,0 +1,125 @@
+"""Inline suppressions and baseline round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import (
+    LINT_BASELINE_SCHEMA_VERSION,
+    BaselineError,
+    load_baseline,
+    write_baseline,
+)
+from tests.lint.conftest import rule_ids
+
+
+class TestInlineSuppressions:
+    def test_disable_on_the_finding_line_is_honored(self, project):
+        report = project.lint_snippet(
+            "import random  # repro-lint: disable=D101  calibration-only shim\n",
+            select=["D101"],
+        )
+        assert report.findings == []
+        assert rule_ids_of(report.suppressed) == ["D101"]
+
+    def test_disable_must_name_the_rule(self, project):
+        report = project.lint_snippet(
+            "import random  # repro-lint: disable=D102\n",
+            select=["D101"],
+        )
+        assert rule_ids(report) == ["D101"]
+        assert report.suppressed == []
+
+    def test_disable_all_and_comma_lists(self, project):
+        report = project.lint_snippet(
+            """
+            import random  # repro-lint: disable=all
+            from random import Random  # repro-lint: disable=D999,D101
+            """,
+            select=["D101"],
+        )
+        assert report.findings == []
+        assert len(report.suppressed) == 2
+
+    def test_disable_file_covers_every_line(self, project):
+        report = project.lint_snippet(
+            """
+            # repro-lint: disable-file=D101
+            import random
+
+            def draw():
+                import uuid
+                return uuid.uuid4()
+            """,
+            select=["D101"],
+        )
+        assert report.findings == []
+        assert len(report.suppressed) == 3
+
+    def test_exit_code_reflects_suppression(self, project):
+        clean = project.lint_snippet(
+            "import random  # repro-lint: disable=D101\n", select=["D101"]
+        )
+        assert clean.exit_code == 0
+        dirty = project.lint_snippet("import random\n", select=["D101"])
+        assert dirty.exit_code == 1
+
+
+class TestBaseline:
+    def test_round_trip_grandfathers_findings(self, project, tmp_path):
+        project.lint_snippet("import random\n", select=["D101"])
+        first = project.lint(select=["D101"])
+        assert first.exit_code == 1
+
+        baseline_path = project.root / "lint-baseline.json"
+        write_baseline(baseline_path, first.findings)
+        assert load_baseline(baseline_path) == {
+            f.fingerprint for f in first.findings
+        }
+
+        second = project.lint(select=["D101"], baseline="lint-baseline.json")
+        assert second.findings == []
+        assert rule_ids_of(second.baselined) == ["D101"]
+        assert second.exit_code == 0
+
+    def test_new_findings_are_not_grandfathered(self, project):
+        project.lint_snippet("import random\n", select=["D101"])
+        baseline_path = project.root / "lint-baseline.json"
+        write_baseline(baseline_path, project.lint(select=["D101"]).findings)
+
+        # A second, new violation appears: only it should gate.
+        project.write("src/repro/core/fresh.py", "import uuid\n")
+        report = project.lint(select=["D101"], baseline="lint-baseline.json")
+        assert [f.path for f in report.findings] == ["src/repro/core/fresh.py"]
+        assert report.exit_code == 1
+
+    def test_missing_baseline_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == set()
+
+    def test_schema_version_is_validated(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"lint_baseline_schema_version": 99, "findings": {}}))
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+        path.write_text("{not json")
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+        path.write_text(json.dumps({"findings": {}}))
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_written_schema_version_is_current(self, tmp_path, project):
+        project.lint_snippet("import random\n", select=["D101"])
+        path = project.root / "baseline.json"
+        write_baseline(path, project.lint(select=["D101"]).findings)
+        payload = json.loads(path.read_text())
+        assert payload["lint_baseline_schema_version"] == LINT_BASELINE_SCHEMA_VERSION
+        # Values are human-readable summaries, keyed by fingerprint.
+        summary = next(iter(payload["findings"].values()))
+        assert "D101" in summary and "snippet.py" in summary
+
+
+def rule_ids_of(findings):
+    return [finding.rule for finding in findings]

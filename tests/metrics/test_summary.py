@@ -14,7 +14,6 @@ class TestPercentile:
         assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == pytest.approx(2.5)
 
     def test_extremes(self):
-        data = [5.0, 1.0 + 4.0, 9.0]  # deliberately unsorted values equal check below
         sorted_data = sorted([1.0, 5.0, 9.0])
         assert percentile(sorted_data, 0.0) == 1.0
         assert percentile(sorted_data, 100.0) == 9.0

@@ -11,7 +11,6 @@ Both are injected byte-for-byte here (deterministic pins), plus once with a
 real ``SIGKILL`` mid append loop as an invariant check.
 """
 
-import json
 import os
 import signal
 import time
@@ -20,7 +19,7 @@ import multiprocessing
 
 import pytest
 
-from repro.results import RunStore, RunStoreError
+from repro.results import RunStore
 from repro.results.store import INDEX_NAME, PARTIAL_SUFFIX
 
 from tests.results.test_record import make_record

@@ -1,7 +1,5 @@
 """Tests for the distributed Bellman-Ford computation."""
 
-import math
-
 import pytest
 
 from repro.radio.power import build_power_table_for_radius

@@ -1,7 +1,5 @@
 """Tests for the routing manager."""
 
-import pytest
-
 from repro.mac.delay import MacDelayModel
 from repro.radio.energy import EnergyLedger, EnergyModel
 from repro.radio.power import build_power_table_for_radius

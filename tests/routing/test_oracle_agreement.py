@@ -1,8 +1,6 @@
 """The distributed Bellman-Ford must agree with a centralized shortest-path
 solver on route costs (validation of the distributed implementation)."""
 
-import math
-
 import pytest
 from hypothesis import given, settings, strategies as st
 
