@@ -337,6 +337,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", dest="as_json",
         help="print the machine-readable report instead of text",
     )
+    lint.add_argument(
+        "--graph-debug", action="store_true",
+        help="attach the resolved project call graph to the report "
+             "(edges, lock contexts, unresolved calls with reasons)",
+    )
+    lint.add_argument(
+        "--changed", nargs="?", const="HEAD", default=None, metavar="REF",
+        help="lint only python files that differ from REF (default HEAD, "
+             "including untracked); per-file rules only — the call-graph "
+             "pass needs the whole tree and is left to full runs",
+    )
 
     figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
     figure.add_argument("name", choices=sorted(SIMULATED_FIGURES) + sorted(ANALYTICAL_FIGURES))
@@ -764,6 +775,35 @@ def _cmd_lint(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         ignore=_split_rule_args(args.ignore),
         baseline=args.baseline,
     )
+    if args.graph_debug:
+        config = dataclasses.replace(config, graph_debug=True)
+    if args.changed is not None:
+        from repro.lint.changed import ChangedFilesError, scoped_changed_paths
+
+        try:
+            lintable, changed = scoped_changed_paths(config, base=args.changed)
+        except ChangedFilesError as exc:
+            out(f"--changed: {exc}")
+            return 2
+        if not lintable:
+            out(
+                f"--changed: no lintable python files differ from "
+                f"{args.changed} ({len(changed)} changed path(s) out of scope)"
+            )
+            return 0
+        registry = default_registry()
+        graph_ids = tuple(
+            registration.id
+            for registration in registry.select(config.select, config.ignore)
+            if registration.rule_class.needs_graph
+        )
+        config = dataclasses.replace(
+            config,
+            paths=tuple(lintable),
+            ignore=(*config.ignore, *graph_ids),
+        )
+        skipped = f", {len(graph_ids)} graph rule(s) deferred" if graph_ids else ""
+        out(f"--changed: linting {len(lintable)} file(s){skipped}")
     if args.write_baseline:
         if config.baseline_path() is None:
             out("--write-baseline needs --baseline (or a configured baseline path)")

@@ -17,10 +17,30 @@ This package is that static check: a pluggable rule framework
   oracle's fast-path switches must resolve, and every ``*_SCHEMA_VERSION``
   constant must be pinned by a test.
 
-Entry points: ``repro lint`` on the command line, :func:`run_lint` from
-code.  Findings are silenced per line with ``# repro-lint: disable=RULE``
-plus a justification, or grandfathered in a committed baseline file
-(:mod:`repro.lint.baseline`) during migrations.
+On top of the per-file pass sits a project-wide analysis engine: a
+resolved call graph (:mod:`repro.lint.callgraph`) with taint/reachability
+and lock-dominance layers (:mod:`repro.lint.dataflow`), consumed by three
+graph-driven families run as a second phase:
+
+* **T-rules** (:mod:`repro.lint.rules_taint`) — cross-file entropy taint:
+  sim-layer functions reaching stdlib entropy through call chains, raw
+  ``random.Random`` values passed between functions.
+* **L-rules** (:mod:`repro.lint.rules_locks`) — store lock discipline:
+  writes in the results store dominated by the store lock, no store
+  handles captured across multiprocessing forks.
+* **P-rules** (:mod:`repro.lint.rules_parity`) — oracle parity: class
+  twins swapped by ``oracle_mode()`` keep identical public signatures,
+  every fast-path toggle is flipped under ``tests/protocols/``.
+
+The engine itself emits **E/W findings**
+(:mod:`repro.lint.rules_engine`): unparseable/unreadable files (E001/
+E002) and stale suppression comments (W001).
+
+Entry points: ``repro lint`` on the command line (``--changed`` for
+git-diff-scoped pre-commit runs, ``--graph-debug`` to dump the graph),
+:func:`run_lint` from code.  Findings are silenced per line with
+``# repro-lint: disable=RULE`` plus a justification, or grandfathered in a
+committed baseline file (:mod:`repro.lint.baseline`) during migrations.
 """
 
 from repro.lint.baseline import (
@@ -36,11 +56,15 @@ from repro.lint.config import (
     find_project_root,
     load_config,
 )
+from repro.lint.callgraph import CallGraph, CallSite, FunctionInfo, build_callgraph
+from repro.lint.changed import ChangedFilesError, scoped_changed_paths
 from repro.lint.engine import LintReport, Project, SourceFile, parse_source, run_lint
 from repro.lint.framework import (
     DuplicateRuleError,
+    EngineRule,
     FileRule,
     Finding,
+    GraphRule,
     ProjectRule,
     Rule,
     RuleRegistry,
@@ -57,9 +81,17 @@ from repro.lint.reporting import (
 
 __all__ = [
     "BaselineError",
+    "CallGraph",
+    "CallSite",
+    "ChangedFilesError",
     "DuplicateRuleError",
+    "EngineRule",
     "FileRule",
     "Finding",
+    "FunctionInfo",
+    "GraphRule",
+    "build_callgraph",
+    "scoped_changed_paths",
     "LINT_BASELINE_SCHEMA_VERSION",
     "LINT_REPORT_SCHEMA_VERSION",
     "LintConfig",

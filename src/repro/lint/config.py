@@ -54,6 +54,22 @@ SLOTS_CLASSES: Tuple[str, ...] = (
     "DataDescriptor",
 )
 
+#: The crash-safe append-only store module: every write reachable there must
+#: be dominated by the store lock (L501).
+STORE_MODULE_SUFFIX = "repro/results/store.py"
+
+#: ``with`` expressions that count as holding the store lock, and the lock
+#: class itself (whose own methods are exempt — acquiring the lock cannot
+#: require already holding it).
+STORE_LOCK_NAMES: Tuple[str, ...] = ("self._lock", "_StoreLock")
+STORE_LOCK_CLASSES: Tuple[str, ...] = ("_StoreLock",)
+
+#: Store handle classes a multiprocessing worker must not capture (L502).
+STORE_CLASSES: Tuple[str, ...] = ("RunStore",)
+
+#: Where the oracle-parity rules look for differential tests (P602).
+PROTOCOLS_TESTS_ROOT = "tests/protocols"
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -71,6 +87,13 @@ class LintConfig:
     harness_path: str = "tests/protocols/harness.py"
     src_root: str = "src"
     tests_root: str = "tests"
+    store_module_suffix: str = STORE_MODULE_SUFFIX
+    store_lock_names: Tuple[str, ...] = STORE_LOCK_NAMES
+    store_lock_classes: Tuple[str, ...] = STORE_LOCK_CLASSES
+    store_classes: Tuple[str, ...] = STORE_CLASSES
+    protocols_tests_root: str = PROTOCOLS_TESTS_ROOT
+    #: Attach the resolved call graph to the report (``--graph-debug``).
+    graph_debug: bool = False
 
     def baseline_path(self) -> Optional[Path]:
         if not self.baseline:

@@ -30,7 +30,12 @@ from repro.lint.framework import (
     Severity,
     default_registry,
 )
-from repro.lint.suppress import SuppressionIndex, apply_suppressions, scan_suppressions
+from repro.lint.suppress import (
+    SuppressionIndex,
+    apply_suppressions,
+    apply_suppressions_tracked,
+    scan_suppressions,
+)
 from repro.lint.symbols import SymbolTable, build_symbol_table
 
 
@@ -46,6 +51,8 @@ class SourceFile:
     symbols: SymbolTable
     suppressions: SuppressionIndex
     layer: Optional[str]
+    #: Why the file could not be read at all (E002), if it couldn't.
+    read_error: Optional[str] = None
 
     def line_text(self, lineno: int) -> str:
         if 1 <= lineno <= len(self.lines):
@@ -71,8 +78,30 @@ def _classify_layer(relpath: str) -> Optional[str]:
 
 
 def parse_source(path: Path, relpath: str) -> SourceFile:
-    """Parse one file into a :class:`SourceFile` (tree ``None`` on a syntax error)."""
-    text = path.read_text(encoding="utf-8")
+    """Parse one file into a :class:`SourceFile`.
+
+    Never raises on bad input: a syntax error leaves ``tree`` ``None``
+    (one E001 finding), and a file that cannot be read or decoded at all
+    sets ``read_error`` (one E002 finding) — a single broken file must
+    cost one finding, not the whole run.
+    """
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (UnicodeDecodeError, OSError) as exc:
+        reason = (
+            "not valid UTF-8" if isinstance(exc, UnicodeDecodeError) else str(exc)
+        )
+        return SourceFile(
+            path=path,
+            relpath=relpath,
+            text="",
+            lines=(),
+            tree=None,
+            symbols=SymbolTable(),
+            suppressions=SuppressionIndex(),
+            layer=_classify_layer(relpath),
+            read_error=reason,
+        )
     lines = tuple(text.splitlines())
     try:
         tree: Optional[ast.Module] = ast.parse(text, filename=str(path))
@@ -99,6 +128,24 @@ class Project:
         self.files = files
         self._external: Dict[str, Optional[SourceFile]] = {}
         self._tests_files: Optional[List[SourceFile]] = None
+        self._callgraph = None
+
+    def callgraph(self):
+        """The resolved project call graph, built once per run.
+
+        Every graph rule in a run shares this construction; building is
+        deferred until the first consumer so per-file-only runs never pay
+        for it.
+        """
+        if self._callgraph is None:
+            from repro.lint.callgraph import build_callgraph
+
+            self._callgraph = build_callgraph(self)
+        return self._callgraph
+
+    @property
+    def graph_built(self) -> bool:
+        return self._callgraph is not None
 
     @property
     def root(self) -> Path:
@@ -202,6 +249,10 @@ class LintReport:
     baselined: List[Finding] = field(default_factory=list)
     errors: List[str] = field(default_factory=list)
     rules_run: Tuple[str, ...] = ()
+    #: Whether the project call graph was constructed this run (phase two).
+    graph_built: bool = False
+    #: ``--graph-debug`` dump of the resolved call graph, when requested.
+    graph_dump: Optional[Dict[str, object]] = None
 
     @property
     def exit_code(self) -> int:
@@ -223,9 +274,22 @@ def run_lint(
     project = Project(config, files)
 
     rules: List[Rule] = registry.instantiate(config.select, config.ignore)
+    selected_ids = {rule_instance.id for rule_instance in rules}
     findings: List[Finding] = []
     for source in files:
-        if source.tree is None:
+        if source.read_error is not None:
+            if "E002" in selected_ids:
+                findings.append(
+                    Finding(
+                        rule="E002",
+                        severity=Severity.ERROR,
+                        path=source.relpath,
+                        line=0,
+                        col=0,
+                        message=f"file could not be read: {source.read_error}",
+                    )
+                )
+        elif source.tree is None and "E001" in selected_ids:
             findings.append(
                 Finding(
                     rule="E001",
@@ -237,12 +301,33 @@ def run_lint(
                     line_text=source.line_text(1),
                 )
             )
-    for rule_instance in rules:
+
+    # Phase one: per-file rules.  Phase two: project/graph rules, sharing
+    # one memoised call-graph construction (built on first consumer; not at
+    # all when no selected rule needs it).
+    file_rules = [r for r in rules if not r.needs_graph]
+    graph_rules = [r for r in rules if r.needs_graph]
+    for rule_instance in file_rules:
+        findings.extend(rule_instance.check(project))
+    for rule_instance in graph_rules:
         findings.extend(rule_instance.check(project))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
 
     indexes = {source.relpath: source.suppressions for source in files}
-    kept, suppressed = apply_suppressions(findings, indexes)
+    kept, suppressed, used = apply_suppressions_tracked(findings, indexes)
+
+    if "W001" in selected_ids:
+        from repro.lint.rules_engine import useless_directives
+
+        stale = sorted(
+            useless_directives(files, used, selected_ids),
+            key=lambda f: (f.path, f.line, f.col, f.message),
+        )
+        stale_kept, stale_suppressed = apply_suppressions(stale, indexes)
+        kept = sorted(
+            [*kept, *stale_kept], key=lambda f: (f.path, f.line, f.col, f.rule)
+        )
+        suppressed.extend(stale_suppressed)
 
     baselined: List[Finding] = []
     baseline_path = config.baseline_path()
@@ -256,6 +341,10 @@ def run_lint(
                 fresh.append(finding)
         kept = fresh
 
+    graph_dump: Optional[Dict[str, object]] = None
+    if config.graph_debug:
+        graph_dump = project.callgraph().to_dict()
+
     return LintReport(
         config=config,
         files_checked=len(files),
@@ -264,4 +353,6 @@ def run_lint(
         baselined=baselined,
         errors=errors,
         rules_run=tuple(r.id for r in rules),
+        graph_built=project.graph_built,
+        graph_dump=graph_dump,
     )

@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Iterable, Iterator, List, Opti
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     import ast
 
+    from repro.lint.callgraph import CallGraph
     from repro.lint.engine import Project, SourceFile
 
 
@@ -106,6 +107,10 @@ class Rule:
     name: str = ""
     description: str = ""
     severity: Severity = Severity.ERROR
+    #: Whether the rule consumes the project call graph.  The engine only
+    #: builds the graph when at least one selected rule sets this, so
+    #: per-file runs (``--select D``) stay one-pass cheap.
+    needs_graph: bool = False
 
     def check(self, project: "Project") -> Iterator[Finding]:
         raise NotImplementedError
@@ -143,6 +148,38 @@ class FileRule(Rule):
 
 class ProjectRule(Rule):
     """A rule that correlates the whole project (cross-module policies)."""
+
+
+class GraphRule(ProjectRule):
+    """A project rule driven by the resolved call graph (phase two).
+
+    The engine runs these after every file rule, handing over the memoised
+    :class:`~repro.lint.callgraph.CallGraph`; all graph rules in a run share
+    one construction.
+    """
+
+    needs_graph = True
+
+    def check(self, project: "Project") -> Iterator[Finding]:
+        yield from self.check_graph(project, project.callgraph())
+
+    def check_graph(
+        self, project: "Project", graph: "CallGraph"
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class EngineRule(Rule):
+    """Registration stub for findings the engine itself emits (E/W ids).
+
+    Crash robustness (E001/E002) and suppression hygiene (W001) are engine
+    behaviour, not AST visits — but registering them keeps every emittable
+    id visible in ``--list-rules`` and addressable by ``--select``/
+    ``--ignore``; the engine consults the selected set before emitting.
+    """
+
+    def check(self, project: "Project") -> Iterator[Finding]:
+        return iter(())
 
 
 @dataclass(frozen=True)
@@ -272,7 +309,15 @@ _DEFAULT_REGISTRY = RuleRegistry()
 def default_registry() -> RuleRegistry:
     """The registry with every built-in rule family loaded."""
     # Importing is idempotent (sys.modules), so this is safe to call often.
-    from repro.lint import rules_determinism, rules_policy, rules_slots  # noqa: F401
+    from repro.lint import (  # noqa: F401
+        rules_determinism,
+        rules_engine,
+        rules_locks,
+        rules_parity,
+        rules_policy,
+        rules_slots,
+        rules_taint,
+    )
 
     return _DEFAULT_REGISTRY
 

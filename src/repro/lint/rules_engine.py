@@ -1,0 +1,97 @@
+"""Registrations for findings the engine itself emits.
+
+These three ids have no AST visitor — the engine produces them while
+collecting files (E001/E002) and after applying suppressions (W001) — but
+they register like any other rule so ``--list-rules`` shows them and
+``--select``/``--ignore`` control them.  The emission logic lives in
+:func:`repro.lint.engine.run_lint`; :func:`useless_directives` below is the
+W001 computation it calls.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Set, Tuple
+
+from repro.lint.framework import EngineRule, Finding, Severity, rule
+from repro.lint.suppress import Directive
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.lint.engine import SourceFile
+
+
+@rule(
+    "E001",
+    name="file-parses",
+    description="every linted file must parse (syntax error = one finding, "
+    "not a traceback)",
+)
+class SyntaxErrorRule(EngineRule):
+    pass
+
+
+@rule(
+    "E002",
+    name="file-readable",
+    description="every linted file must be readable UTF-8 (decode/IO "
+    "failure = one finding, not a traceback)",
+)
+class UnreadableFileRule(EngineRule):
+    pass
+
+
+@rule(
+    "W001",
+    name="useless-suppression",
+    description="a `# repro-lint: disable=RULE` comment must still "
+    "suppress at least one finding for that rule",
+    severity=Severity.WARNING,
+)
+class UselessSuppressionRule(EngineRule):
+    pass
+
+
+def useless_directives(
+    files: Iterable["SourceFile"],
+    used: Dict[str, Set[Tuple[Directive, str]]],
+    rules_run: Set[str],
+) -> Iterator[Finding]:
+    """W001 findings: directive ids that silenced nothing this run.
+
+    A directive id is only judged when its rule actually ran (``--select
+    D`` must not flag a parked ``disable=S201`` comment); ``all``
+    directives are judged whenever any rule ran.  Runs after suppression
+    application, on the real finding set — no fixpoint: a W001 finding is
+    itself suppressible, but suppressing one never revives another.
+    """
+    registration = UselessSuppressionRule()
+    for source in files:
+        path_used = used.get(source.relpath, set())
+        for directive in source.suppressions.directives:
+            for rule_id in sorted(directive.rules):
+                if rule_id == "ALL":
+                    if not rules_run:
+                        continue
+                    if any(d == directive for d, _ in path_used):
+                        continue
+                elif rule_id not in rules_run or (directive, rule_id) in path_used:
+                    continue
+                label = "all rules" if rule_id == "ALL" else rule_id
+                scope = "anywhere in the file" if directive.file_wide else "on this line"
+                yield Finding(
+                    rule=registration.id,
+                    severity=registration.severity,
+                    path=source.relpath,
+                    line=directive.lineno,
+                    col=0,
+                    message=(
+                        f"useless suppression: {label} produced no finding "
+                        f"{scope} — remove the stale "
+                        f"`# repro-lint: {directive.kind}={rule_id}` directive"
+                    ),
+                    line_text=source.line_text(directive.lineno),
+                )
+
+
+def emitted_ids() -> List[str]:
+    """The engine-driven rule ids (used by the engine's selection gate)."""
+    return ["E001", "E002", "W001"]

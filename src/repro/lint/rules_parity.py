@@ -1,0 +1,248 @@
+"""P-rules: oracle parity between fast paths and their naive twins.
+
+The differential harness (``oracle_mode()``) is the contract that lets
+protocol internals keep changing under the byte-identity pins — but the
+harness can only compare what both implementations *expose*.  These rules
+keep the twin pairs comparable:
+
+* **P601** — when ``oracle_mode()`` swaps a class for its naive twin
+  (``node_base_module.DataCache = NaiveDataCache``), the two classes must
+  expose identical public method surfaces: same names, same signatures.
+  A method added to the fast path only would run against ``AttributeError``
+  (or worse, silently different semantics) in oracle mode.
+* **P602** — every boolean ``ADV_FAST_PATH``-style class toggle in a sim
+  layer must be flipped by ``oracle_mode()`` and exercised by a test under
+  ``tests/protocols/``: a toggle the oracle does not flip is a fast path
+  with no naive twin, which the ROADMAP forbids.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.callgraph import CallGraph, ClassDecl, module_name
+from repro.lint.engine import Project, SourceFile
+from repro.lint.framework import Finding, GraphRule, ProjectRule, rule
+from repro.lint.rules_policy import _attribute_chain
+
+_TOGGLE_NAME = re.compile(r"^[A-Z][A-Z0-9_]*$")
+
+
+def _oracle_function(harness: SourceFile) -> Optional[ast.FunctionDef]:
+    if harness.tree is None:
+        return None
+    return next(
+        (
+            node
+            for node in harness.tree.body
+            if isinstance(node, ast.FunctionDef) and node.name == "oracle_mode"
+        ),
+        None,
+    )
+
+
+def _signature_shape(func: ast.FunctionDef) -> Tuple:
+    """Comparable shape of a method signature (names, order, defaults)."""
+    args = func.args
+    return (
+        tuple(a.arg for a in args.posonlyargs),
+        tuple(a.arg for a in args.args),
+        args.vararg.arg if args.vararg else None,
+        tuple(a.arg for a in args.kwonlyargs),
+        args.kwarg.arg if args.kwarg else None,
+        len(args.defaults),
+        sum(1 for d in args.kw_defaults if d is not None),
+    )
+
+
+def _public_methods(decl: ClassDecl) -> Dict[str, ast.FunctionDef]:
+    return {
+        stmt.name: stmt
+        for stmt in decl.node.body
+        if isinstance(stmt, ast.FunctionDef) and not stmt.name.startswith("_")
+    }
+
+
+def _class_swaps(
+    harness: SourceFile, oracle: ast.FunctionDef, graph: CallGraph
+) -> List[Tuple[ClassDecl, ClassDecl, ast.Assign]]:
+    """(original, naive twin, assignment) per class-swap switch.
+
+    A swap is ``module_alias.ClassName = NaiveClass`` where both sides
+    resolve to project classes; the ``finally:`` restores assign saved
+    locals and never resolve, so they fall out naturally.
+    """
+    swaps = []
+    for stmt in ast.walk(oracle):
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            continue
+        chain = _attribute_chain(stmt.targets[0])
+        if chain is None or not isinstance(stmt.value, ast.Name):
+            continue
+        base, attr = chain
+        origin = harness.symbols.imports.get(base)
+        naive_origin = harness.symbols.imports.get(stmt.value.id)
+        if origin is None or naive_origin is None:
+            continue
+        original = graph.resolve_class(origin, attr)
+        naive_module, _, naive_name = naive_origin.rpartition(".")
+        naive = graph.resolve_class(naive_module, naive_name) if naive_module else None
+        if original is None or naive is None or original is naive:
+            continue
+        swaps.append((original, naive, stmt))
+    return swaps
+
+
+@rule(
+    "P601",
+    name="oracle-twin-signatures",
+    description=(
+        "a class oracle_mode() swaps for its naive twin must expose the "
+        "same public methods with the same signatures"
+    ),
+)
+class OracleTwinSignaturesRule(GraphRule):
+    def check_graph(self, project: Project, graph: CallGraph) -> Iterator[Finding]:
+        harness = project.parse_external(project.config.harness_path)
+        if harness is None:
+            return  # C301 reports the missing harness
+        oracle = _oracle_function(harness)
+        if oracle is None:
+            return  # likewise C301's finding
+        for original, naive, _stmt in _class_swaps(harness, oracle, graph):
+            fast_methods = _public_methods(original)
+            naive_methods = _public_methods(naive)
+            naive_source = project.find(naive.relpath) or project.parse_external(
+                naive.relpath
+            )
+            if naive_source is None:  # pragma: no cover - twin was resolved
+                continue
+            for name in sorted(set(fast_methods) | set(naive_methods)):
+                if name not in naive_methods:
+                    yield self.finding(
+                        naive_source,
+                        naive.node,
+                        f"oracle twin {naive.name} is missing public method "
+                        f"{name}() present on {original.name}; oracle-mode "
+                        "runs would diverge from the fast path's surface",
+                    )
+                elif name not in fast_methods:
+                    yield self.finding(
+                        naive_source,
+                        naive_methods[name],
+                        f"oracle twin {naive.name} defines {name}() but "
+                        f"{original.name} does not; the naive surface has "
+                        "drifted ahead of the fast path",
+                    )
+                elif _signature_shape(fast_methods[name]) != _signature_shape(
+                    naive_methods[name]
+                ):
+                    yield self.finding(
+                        naive_source,
+                        naive_methods[name],
+                        f"{naive.name}.{name}() signature differs from "
+                        f"{original.name}.{name}(); twin pairs must accept "
+                        "identical calls",
+                    )
+
+
+@rule(
+    "P602",
+    name="toggle-flipped-in-tests",
+    description=(
+        "every boolean fast-path class toggle in a sim layer must be "
+        "flipped by oracle_mode() and exercised under tests/protocols/"
+    ),
+)
+class ToggleFlippedRule(ProjectRule):
+    def check(self, project: Project) -> Iterator[Finding]:
+        config = project.config
+        toggles: List[Tuple[SourceFile, str, str, ast.stmt]] = []
+        for source in project.files:
+            if source.tree is None or source.layer not in config.sim_layers:
+                continue
+            if source.relpath.endswith(config.rng_module_suffix):
+                continue
+            for info in source.symbols.classes:
+                for stmt in info.node.body:
+                    for attr, value in _bool_class_attrs(stmt):
+                        if _TOGGLE_NAME.match(attr):
+                            toggles.append((source, info.name, attr, stmt))
+        if not toggles:
+            return
+
+        patched = self._patched_switches(project)
+        exercised = self._oracle_exercised(project)
+        for source, class_name, attr, stmt in toggles:
+            dotted = f"{module_name(source.relpath, config.src_root)}.{class_name}"
+            if (dotted, attr) not in patched and (class_name, attr) not in {
+                (origin.rpartition(".")[2], name) for origin, name in patched
+            }:
+                yield self.finding(
+                    source,
+                    stmt,
+                    f"fast-path toggle {class_name}.{attr} is not flipped by "
+                    f"oracle_mode() in {config.harness_path}; every toggle "
+                    "needs a naive twin the differential suite can compare",
+                )
+            elif not exercised:
+                yield self.finding(
+                    source,
+                    stmt,
+                    f"toggle {class_name}.{attr} is flipped by oracle_mode() "
+                    f"but no test under {config.protocols_tests_root}/ "
+                    "exercises it (none references oracle_mode/"
+                    "run_differential)",
+                )
+
+    @staticmethod
+    def _patched_switches(project: Project) -> Set[Tuple[str, str]]:
+        """(dotted class origin, attr) pairs assigned inside oracle_mode."""
+        harness = project.parse_external(project.config.harness_path)
+        if harness is None:
+            return set()
+        oracle = _oracle_function(harness)
+        if oracle is None:
+            return set()
+        patched: Set[Tuple[str, str]] = set()
+        for stmt in ast.walk(oracle):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            for target in stmt.targets:
+                chain = _attribute_chain(target)
+                if chain is None:
+                    continue
+                origin = harness.symbols.imports.get(chain[0])
+                if origin is not None:
+                    patched.add((origin, chain[1]))
+        return patched
+
+    @staticmethod
+    def _oracle_exercised(project: Project) -> bool:
+        prefix = project.config.protocols_tests_root.rstrip("/") + "/"
+        for test in project.tests_files():
+            name = test.relpath.rsplit("/", 1)[-1]
+            if not test.relpath.startswith(prefix) or not name.startswith("test_"):
+                continue
+            if test.symbols.references("oracle_mode") or test.symbols.references(
+                "run_differential"
+            ):
+                return True
+        return False
+
+
+def _bool_class_attrs(stmt: ast.stmt) -> Iterator[Tuple[str, bool]]:
+    """``(name, value)`` for boolean class-attribute assignments."""
+    if isinstance(stmt, ast.Assign):
+        targets = [t.id for t in stmt.targets if isinstance(t, ast.Name)]
+        value = stmt.value
+    elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+        targets = [stmt.target.id]
+        value = stmt.value
+    else:
+        return
+    if isinstance(value, ast.Constant) and isinstance(value.value, bool):
+        for name in targets:
+            yield name, value.value

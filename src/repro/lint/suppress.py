@@ -11,13 +11,20 @@ or for a whole file (anywhere in the file, conventionally near the top)::
 Multiple ids are comma-separated; ``disable=all`` silences every rule on
 that line.  Suppressions are parsed from raw source lines (not the AST) so
 they keep working next to code the AST pass cannot anchor precisely.
+
+Every directive is kept as a :class:`Directive` record (line, kind, ids) so
+the engine can track which ones actually silenced something — a directive
+whose rule ids never match any finding is itself flagged (W001): stale
+suppressions are how real violations sneak back in unread.
 """
 
 from __future__ import annotations
 
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
 from repro.lint.framework import Finding
 
@@ -27,12 +34,26 @@ _DIRECTIVE = re.compile(
 )
 
 
+@dataclass(frozen=True)
+class Directive:
+    """One ``# repro-lint: disable`` comment as written in the source."""
+
+    lineno: int
+    kind: str  # "disable" | "disable-file"
+    rules: FrozenSet[str]  # upper-cased ids, possibly {"ALL"}
+
+    @property
+    def file_wide(self) -> bool:
+        return self.kind == "disable-file"
+
+
 @dataclass
 class SuppressionIndex:
     """Per-line and per-file suppressions extracted from one source file."""
 
     by_line: Dict[int, Set[str]] = field(default_factory=dict)
     file_wide: Set[str] = field(default_factory=set)
+    directives: List[Directive] = field(default_factory=list)
 
     def suppresses(self, finding: Finding) -> bool:
         for rules in (self.file_wide, self.by_line.get(finding.line, ())):
@@ -40,11 +61,45 @@ class SuppressionIndex:
                 return True
         return False
 
+    def matching(self, finding: Finding) -> List[Directive]:
+        """Every directive that silences *finding* (usually one)."""
+        rule = finding.rule.upper()
+        return [
+            directive
+            for directive in self.directives
+            if (directive.file_wide or directive.lineno == finding.line)
+            and ("ALL" in directive.rules or rule in directive.rules)
+        ]
+
+
+def _comment_tokens(lines: Sequence[str]) -> List[Tuple[int, str]]:
+    """``(lineno, comment_text)`` for every real comment token.
+
+    Tokenizing (rather than regexing raw lines) keeps directives quoted
+    inside docstrings and string literals — documentation, test snippets —
+    from being honoured as live suppressions or flagged as stale ones.
+    Files the tokenizer rejects fall back to the line-based scan: a
+    directive in a broken file should still suppress what it can.
+    """
+    text = "\n".join(lines) + "\n" if lines else ""
+    comments: List[Tuple[int, str]] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(text).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return [
+            (lineno, line)
+            for lineno, line in enumerate(lines, start=1)
+            if "#" in line
+        ]
+    return comments
+
 
 def scan_suppressions(lines: Sequence[str]) -> SuppressionIndex:
     """Extract every ``# repro-lint: disable`` directive from *lines*."""
     index = SuppressionIndex()
-    for lineno, line in enumerate(lines, start=1):
+    for lineno, line in _comment_tokens(lines):
         if "repro-lint" not in line:
             continue
         for match in _DIRECTIVE.finditer(line):
@@ -55,7 +110,11 @@ def scan_suppressions(lines: Sequence[str]) -> SuppressionIndex:
             }
             if not rules:
                 continue
-            if match.group("kind") == "disable-file":
+            kind = match.group("kind")
+            index.directives.append(
+                Directive(lineno=lineno, kind=kind, rules=frozenset(rules))
+            )
+            if kind == "disable-file":
                 index.file_wide |= rules
             else:
                 index.by_line.setdefault(lineno, set()).update(rules)
@@ -65,14 +124,34 @@ def scan_suppressions(lines: Sequence[str]) -> SuppressionIndex:
 def apply_suppressions(
     findings: Sequence[Finding],
     indexes: Dict[str, SuppressionIndex],
-) -> tuple[List[Finding], List[Finding]]:
+) -> Tuple[List[Finding], List[Finding]]:
     """Split *findings* into (kept, suppressed) using per-path indexes."""
+    kept, suppressed, _used = apply_suppressions_tracked(findings, indexes)
+    return kept, suppressed
+
+
+def apply_suppressions_tracked(
+    findings: Sequence[Finding],
+    indexes: Dict[str, SuppressionIndex],
+) -> Tuple[List[Finding], List[Finding], Dict[str, Set[Tuple[Directive, str]]]]:
+    """Like :func:`apply_suppressions`, plus which directives earned their keep.
+
+    The third element maps path -> set of ``(directive, rule_id)`` pairs
+    that silenced at least one finding; the W001 pass holds every directive
+    id against it.
+    """
     kept: List[Finding] = []
     suppressed: List[Finding] = []
+    used: Dict[str, Set[Tuple[Directive, str]]] = {}
     for finding in findings:
         index = indexes.get(finding.path)
-        if index is not None and index.suppresses(finding):
+        matches = index.matching(finding) if index is not None else []
+        if matches:
             suppressed.append(finding)
+            rule = finding.rule.upper()
+            for directive in matches:
+                hit = rule if rule in directive.rules else "ALL"
+                used.setdefault(finding.path, set()).add((directive, hit))
         else:
             kept.append(finding)
-    return kept, suppressed
+    return kept, suppressed, used

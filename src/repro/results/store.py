@@ -251,13 +251,13 @@ class RunStore:
             )
         return fingerprint
 
-    def _refresh_index(self, repair: bool = False) -> None:
+    def _refresh_index(self) -> None:
         """Fold index lines appended since the last look into the mirror.
 
-        Only whole (newline-terminated) lines are consumed.  With *repair*
-        (locked paths only) a torn final line — a writer killed mid index
-        append — is truncated away; its record is still in the shard and is
-        re-indexed by :meth:`_repair_index_tail`.
+        Only whole (newline-terminated) lines are consumed, so this is safe
+        from unlocked read paths; a torn final line — a writer killed mid
+        index append — is left in place here and truncated away by
+        :meth:`_repair_torn_index_tail` on the locked append path.
         """
         path = self.index_path
         if not path.is_file():
@@ -288,7 +288,19 @@ class RunStore:
             self._index.setdefault(fingerprint, []).append([shard, offset])
             self._last_indexed = (shard, offset)
         self._index_bytes += end
-        if repair and end < len(data):
+
+    def _repair_torn_index_tail(self) -> None:
+        """Truncate a torn (newline-less) final index line.  Locked only.
+
+        Runs after :meth:`_refresh_index` on the append path, where the
+        advisory lock guarantees no concurrent appender: any bytes past the
+        consumed whole lines are a torn tail, and the record they pointed at
+        is still in its shard, re-indexed by :meth:`_repair_index_tail`.
+        """
+        path = self.index_path
+        if not path.is_file():
+            return
+        if path.stat().st_size > self._index_bytes:
             with path.open("r+b") as handle:
                 handle.truncate(self._index_bytes)
 
@@ -447,7 +459,8 @@ class RunStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self._recover_torn_shard_tail()
         if self.index_path.is_file():
-            self._refresh_index(repair=True)
+            self._refresh_index()
+            self._repair_torn_index_tail()
         else:
             # Legacy store (manifest-embedded index or none at all) or a
             # deleted sidecar: rebuild the complete index in one shot.
@@ -477,7 +490,8 @@ class RunStore:
         if size == self._tail_size and not self.shard_path(self._tail_shard + 1).exists():
             return
         self._recover_torn_shard_tail()
-        self._refresh_index(repair=True)
+        self._refresh_index()
+        self._repair_torn_index_tail()
         self._locate_tail()
         self._repair_index_tail()
 

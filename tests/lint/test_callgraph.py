@@ -1,0 +1,393 @@
+"""Call-graph construction: resolved edges, and the adversarial shapes.
+
+The resolution contract is asymmetric: a *resolved* edge must provably
+point at the named project function, while everything dynamic — decorated
+functions, ``functools.partial``, bound-method aliases, ``getattr`` — must
+land in ``graph.unresolved`` with a reason, never as a guessed edge.  The
+``TestNeverFalseEdges`` class holds that second half against each shape.
+"""
+
+from __future__ import annotations
+
+from repro.lint.callgraph import MODULE_SCOPE, build_callgraph
+from repro.lint.config import LintConfig
+from repro.lint.engine import Project, collect_files, parse_source
+
+
+def build_graph(project, paths=("src",)):
+    config = LintConfig(project_root=project.root, paths=tuple(paths))
+    pairs, errors = collect_files(config)
+    assert not errors
+    files = [parse_source(path, relpath) for path, relpath in pairs]
+    return build_callgraph(Project(config, files))
+
+
+def resolved_callees(graph, caller_id):
+    return {site.callee for site in graph.calls_from(caller_id) if site.callee}
+
+
+def unresolved_reasons(graph, caller_id):
+    return {
+        site.target_text: site.reason
+        for site in graph.calls_from(caller_id)
+        if site.callee is None
+    }
+
+
+class TestResolvedEdges:
+    def test_cross_module_function_call(self, project):
+        project.write(
+            "src/repro/util/helpers.py",
+            """
+            def jitter():
+                return 0.0
+            """,
+        )
+        project.write(
+            "src/repro/core/sim.py",
+            """
+            from repro.util.helpers import jitter
+
+            def deliver():
+                return jitter()
+            """,
+        )
+        graph = build_graph(project)
+        assert resolved_callees(graph, "src/repro/core/sim.py::deliver") == {
+            "src/repro/util/helpers.py::jitter"
+        }
+
+    def test_self_method_and_instance_attribute(self, project):
+        project.write(
+            "src/repro/core/cache.py",
+            """
+            class DataCache:
+                def add(self, name):
+                    return name
+            """,
+        )
+        project.write(
+            "src/repro/core/node.py",
+            """
+            from repro.core.cache import DataCache
+
+            class Node:
+                def __init__(self):
+                    self.cache = DataCache()
+
+                def receive(self, name):
+                    self.cache.add(name)
+                    return self.classify(name)
+
+                def classify(self, name):
+                    return name
+            """,
+        )
+        graph = build_graph(project)
+        assert resolved_callees(graph, "src/repro/core/node.py::Node.receive") == {
+            "src/repro/core/cache.py::DataCache.add",
+            "src/repro/core/node.py::Node.classify",
+        }
+
+    def test_method_found_on_project_base_class(self, project):
+        project.write(
+            "src/repro/core/base.py",
+            """
+            class NodeBase:
+                def wake(self):
+                    return True
+            """,
+        )
+        project.write(
+            "src/repro/core/node.py",
+            """
+            from repro.core.base import NodeBase
+
+            class Node(NodeBase):
+                def run(self):
+                    return self.wake()
+            """,
+        )
+        graph = build_graph(project)
+        assert resolved_callees(graph, "src/repro/core/node.py::Node.run") == {
+            "src/repro/core/base.py::NodeBase.wake"
+        }
+
+    def test_module_attribute_instance(self, project):
+        project.write(
+            "src/repro/build/reg.py",
+            """
+            class Registry:
+                def register(self, name):
+                    return name
+
+            REGISTRY = Registry()
+
+            def local_use():
+                return REGISTRY.register("mac")
+            """,
+        )
+        project.write(
+            "src/repro/core/user.py",
+            """
+            from repro.build import reg
+
+            def remote_use():
+                return reg.REGISTRY.register("radio")
+            """,
+        )
+        graph = build_graph(project)
+        target = "src/repro/build/reg.py::Registry.register"
+        assert resolved_callees(graph, "src/repro/build/reg.py::local_use") == {target}
+        assert resolved_callees(graph, "src/repro/core/user.py::remote_use") == {target}
+
+    def test_typed_local_single_construction(self, project):
+        project.write(
+            "src/repro/core/cache.py",
+            """
+            class DataCache:
+                def add(self, name):
+                    return name
+
+                def clear(self):
+                    return None
+            """,
+        )
+        project.write(
+            "src/repro/core/use.py",
+            """
+            from repro.core.cache import DataCache
+
+            def single():
+                cache = DataCache()
+                cache.add("x")
+
+            def annotated(cache: DataCache):
+                cache.clear()
+
+            def conflicting(flag):
+                cache = DataCache()
+                if flag:
+                    cache = make_something_else()
+                cache.add("x")
+
+            def make_something_else():
+                return None
+            """,
+        )
+        graph = build_graph(project)
+        # DataCache defines no __init__, so the construction itself stays
+        # unresolved; the typed local still resolves the method call.
+        assert resolved_callees(graph, "src/repro/core/use.py::single") == {
+            "src/repro/core/cache.py::DataCache.add"
+        }
+        assert resolved_callees(graph, "src/repro/core/use.py::annotated") == {
+            "src/repro/core/cache.py::DataCache.clear"
+        }
+        # A local rebound to something of unknown type is poisoned: the
+        # method call must go unresolved, not to DataCache.add.
+        assert "src/repro/core/cache.py::DataCache.add" not in resolved_callees(
+            graph, "src/repro/core/use.py::conflicting"
+        )
+        assert "cache.add" in unresolved_reasons(
+            graph, "src/repro/core/use.py::conflicting"
+        )
+
+    def test_module_level_calls_belong_to_module_scope(self, project):
+        project.write(
+            "src/repro/core/boot.py",
+            """
+            def configure():
+                return {}
+
+            SETTINGS = configure()
+            """,
+        )
+        graph = build_graph(project)
+        module_id = f"src/repro/core/boot.py::{MODULE_SCOPE}"
+        assert resolved_callees(graph, module_id) == {
+            "src/repro/core/boot.py::configure"
+        }
+
+    def test_lock_contexts_recorded(self, project):
+        project.write(
+            "src/repro/results/io.py",
+            """
+            class Writer:
+                def append(self, record):
+                    with self._lock:
+                        self.flush(record)
+
+                def flush(self, record):
+                    return record
+            """,
+        )
+        graph = build_graph(project)
+        (site,) = graph.calls_from("src/repro/results/io.py::Writer.append")
+        assert site.callee == "src/repro/results/io.py::Writer.flush"
+        assert site.lock_contexts == ("self._lock",)
+
+    def test_reachable_forward_and_reverse(self, project):
+        project.write(
+            "src/repro/core/chain.py",
+            """
+            def a():
+                return b()
+
+            def b():
+                return c()
+
+            def c():
+                return 1
+            """,
+        )
+        graph = build_graph(project)
+        a, b, c = (f"src/repro/core/chain.py::{name}" for name in "abc")
+        assert graph.reachable([a]) == {a, b, c}
+        assert graph.reachable([c], reverse=True) == {a, b, c}
+
+
+class TestNeverFalseEdges:
+    """Adversarial shapes: unresolved-with-reason, never a guessed edge."""
+
+    def test_functools_partial_is_unresolved(self, project):
+        project.write(
+            "src/repro/experiments/jobs.py",
+            """
+            import functools
+
+            def worker(job, scale):
+                return job * scale
+
+            def schedule(jobs):
+                bound = functools.partial(worker, scale=2)
+                return [bound(job) for job in jobs]
+            """,
+        )
+        graph = build_graph(project)
+        caller = "src/repro/experiments/jobs.py::schedule"
+        # Neither the application nor the later invocation may claim the
+        # worker edge: partial application is invisible statically.
+        assert resolved_callees(graph, caller) == set()
+        reasons = unresolved_reasons(graph, caller)
+        assert reasons["functools.partial"] == (
+            "partial application: target called later, elsewhere"
+        )
+        assert "alias" in reasons["bound"]
+
+    def test_dynamic_getattr_is_unresolved(self, project):
+        project.write(
+            "src/repro/core/dispatch.py",
+            """
+            def handle(node, name):
+                return getattr(node, name)()
+
+            def handle_alias(node, name):
+                fn = getattr(node, name)
+                return fn()
+            """,
+        )
+        graph = build_graph(project)
+        direct = unresolved_reasons(graph, "src/repro/core/dispatch.py::handle")
+        assert "dynamic getattr lookup" in direct.values()
+        aliased = unresolved_reasons(graph, "src/repro/core/dispatch.py::handle_alias")
+        assert aliased["fn"] == "callee held in a local variable (alias)"
+        assert resolved_callees(graph, "src/repro/core/dispatch.py::handle") == set()
+        assert (
+            resolved_callees(graph, "src/repro/core/dispatch.py::handle_alias") == set()
+        )
+
+    def test_bound_method_alias_is_unresolved(self, project):
+        project.write(
+            "src/repro/core/alias.py",
+            """
+            class Cache:
+                def add(self, name):
+                    return name
+
+            def use(cache: Cache, names):
+                adder = cache.add
+                for name in names:
+                    adder(name)
+            """,
+        )
+        graph = build_graph(project)
+        caller = "src/repro/core/alias.py::use"
+        # `adder = cache.add` loses the binding: the call through the alias
+        # must not resolve to Cache.add.
+        assert "src/repro/core/alias.py::Cache.add" not in resolved_callees(
+            graph, caller
+        )
+        assert unresolved_reasons(graph, caller)["adder"] == (
+            "callee held in a local variable (alias)"
+        )
+
+    def test_decorated_function_still_resolves_with_flag(self, project):
+        project.write(
+            "src/repro/build/decorated.py",
+            """
+            def register(name):
+                def wrap(func):
+                    return func
+                return wrap
+
+            @register("fast")
+            def step():
+                return 1
+
+            def run():
+                return step()
+            """,
+        )
+        graph = build_graph(project)
+        step = graph.function("src/repro/build/decorated.py", "step")
+        assert step is not None and step.is_decorated
+        # Calling the decorated name resolves to the def (the decorator may
+        # wrap it, but the def is the only project code behind the name)...
+        assert resolved_callees(graph, "src/repro/build/decorated.py::run") == {
+            "src/repro/build/decorated.py::step"
+        }
+        # ...and the decorator application is an edge owned by the def
+        # itself, not double-counted at module scope.
+        decorator_sites = [
+            site
+            for site in graph.calls_from("src/repro/build/decorated.py::step")
+            if site.target_text == "register"
+        ]
+        assert len(decorator_sites) == 1
+        module_scope = f"src/repro/build/decorated.py::{MODULE_SCOPE}"
+        assert all(
+            site.target_text != "register"
+            for site in graph.calls_from(module_scope)
+        )
+
+    def test_every_resolved_edge_points_at_a_declared_function(self, project):
+        project.write(
+            "src/repro/core/mixed.py",
+            """
+            import functools
+
+            class Cache:
+                def add(self, name):
+                    return name
+
+            def helper():
+                return 1
+
+            def adversarial(node, name):
+                helper()
+                fn = getattr(node, name)
+                fn()
+                bound = functools.partial(helper)
+                bound()
+                cache = Cache()
+                alias = cache.add
+                alias("x")
+            """,
+        )
+        graph = build_graph(project)
+        for site in graph.calls:
+            if site.callee is not None:
+                assert site.callee in graph.functions
+            else:
+                assert site.reason, f"unresolved site without a reason: {site}"

@@ -1,0 +1,118 @@
+"""``repro lint --changed``: git-diff-aware file selection."""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+
+import pytest
+
+from repro.cli import main
+from repro.lint import ChangedFilesError, LintConfig, scoped_changed_paths
+
+pytestmark = pytest.mark.skipif(
+    shutil.which("git") is None, reason="git not available"
+)
+
+
+def git(root, *args):
+    subprocess.run(
+        ["git", *args],
+        cwd=root,
+        check=True,
+        capture_output=True,
+        env={
+            "GIT_AUTHOR_NAME": "fixture",
+            "GIT_AUTHOR_EMAIL": "fixture@example.invalid",
+            "GIT_COMMITTER_NAME": "fixture",
+            "GIT_COMMITTER_EMAIL": "fixture@example.invalid",
+            "HOME": str(root),
+            "PATH": "/usr/bin:/bin:/usr/local/bin",
+        },
+    )
+
+
+@pytest.fixture
+def git_project(project):
+    project.write("src/repro/core/stable.py", "x = 1\n")
+    project.write("src/repro/core/edited.py", "y = 1\n")
+    project.write("README.md", "seed\n")
+    git(project.root, "init", "-q")
+    git(project.root, "add", "-A")
+    git(project.root, "commit", "-q", "-m", "seed")
+    return project
+
+
+class TestScopedChangedPaths:
+    def test_modified_untracked_and_out_of_scope(self, git_project):
+        git_project.write("src/repro/core/edited.py", "import random\n")
+        git_project.write("src/repro/core/fresh.py", "z = 1\n")  # untracked
+        git_project.write("tests/test_outside.py", "t = 1\n")  # outside paths
+        git_project.write("README.md", "not python\n")
+        config = LintConfig(project_root=git_project.root, paths=("src",))
+        lintable, changed = scoped_changed_paths(config)
+        assert lintable == [
+            "src/repro/core/edited.py",
+            "src/repro/core/fresh.py",
+        ]
+        assert "README.md" in changed
+        assert "tests/test_outside.py" in changed
+
+    def test_deleted_file_not_lintable(self, git_project):
+        (git_project.root / "src/repro/core/edited.py").unlink()
+        config = LintConfig(project_root=git_project.root, paths=("src",))
+        lintable, changed = scoped_changed_paths(config)
+        assert lintable == []
+        assert "src/repro/core/edited.py" in changed
+
+    def test_clean_tree_is_empty(self, git_project):
+        config = LintConfig(project_root=git_project.root, paths=("src",))
+        assert scoped_changed_paths(config) == ([], [])
+
+    def test_not_a_repo_raises(self, project):
+        project.write("src/repro/core/a.py", "x = 1\n")
+        config = LintConfig(project_root=project.root, paths=("src",))
+        with pytest.raises(ChangedFilesError):
+            scoped_changed_paths(config)
+
+
+class TestChangedCli:
+    def run(self, root, *extra):
+        lines = []
+        code = main(
+            ["lint", "--root", str(root), "--changed", *extra], out=lines.append
+        )
+        return code, lines
+
+    def test_lints_only_changed_files_and_defers_graph_rules(self, git_project):
+        # The committed stable.py holds a violation --changed must NOT see;
+        # the edited file holds the one it must.
+        git_project.write("src/repro/core/edited.py", "import random\n")
+        code, lines = self.run(git_project.root)
+        text = "\n".join(lines)
+        assert code == 1
+        assert "--changed: linting 1 file(s)" in text
+        assert "graph rule(s) deferred" in text
+        assert "edited.py" in text
+        assert "stable.py" not in text
+
+    def test_clean_diff_exits_zero(self, git_project):
+        code, lines = self.run(git_project.root)
+        assert code == 0
+        assert any("no lintable python files differ" in line for line in lines)
+
+    def test_bad_ref_is_usage_error(self, git_project):
+        code, lines = self.run(git_project.root, "--select", "D")
+        assert code == 0  # sanity: default ref works with flags after it
+        lines2 = []
+        code2 = main(
+            ["lint", "--root", str(git_project.root), "--changed", "no-such-ref"],
+            out=lines2.append,
+        )
+        assert code2 == 2
+        assert any("--changed:" in line for line in lines2)
+
+    def test_not_a_repo_is_usage_error(self, project):
+        project.write("src/repro/core/a.py", "x = 1\n")
+        code, lines = self.run(project.root)
+        assert code == 2

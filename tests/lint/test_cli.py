@@ -116,6 +116,43 @@ class TestJsonOutput:
         assert payload["exit_code"] == 0
 
 
+class TestGraphDebug:
+    def test_json_attaches_callgraph(self, fixture_project, capture):
+        (fixture_project / "src" / "repro" / "core" / "snippet.py").write_text(
+            "def helper():\n    return 1\n\n\ndef caller():\n    return helper()\n"
+        )
+        code, lines = run_lint_cli(
+            fixture_project, capture, "src", "--json", "--graph-debug"
+        )
+        assert code == 0
+        payload = json.loads("\n".join(lines))
+        assert payload["graph_built"] is True
+        graph = payload["callgraph"]
+        assert graph["counts"]["functions"] >= 2
+        assert {
+            "caller": "src/repro/core/snippet.py::caller",
+            "callee": "src/repro/core/snippet.py::helper",
+            "line": 6,
+            "locks": [],
+        } in graph["edges"]
+
+    def test_json_omits_callgraph_by_default(self, fixture_project, capture):
+        code, lines = run_lint_cli(fixture_project, capture, "src", "--json")
+        payload = json.loads("\n".join(lines))
+        assert "callgraph" not in payload
+        assert payload["graph_built"] is False
+
+    def test_text_renders_edges_and_unresolved(self, fixture_project, capture):
+        (fixture_project / "src" / "repro" / "core" / "snippet.py").write_text(
+            "def run(node, name):\n    return getattr(node, name)()\n"
+        )
+        code, lines = run_lint_cli(fixture_project, capture, "src", "--graph-debug")
+        assert code == 0
+        text = "\n".join(lines)
+        assert "callgraph:" in text
+        assert "unresolved: dynamic getattr lookup" in text
+
+
 class TestBaselineFlow:
     def test_write_then_gate(self, fixture_project, capture):
         lines, out = capture

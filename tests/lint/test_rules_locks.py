@@ -1,0 +1,219 @@
+"""L-rules: store write lock dominance (L501) and fork capture (L502)."""
+
+from __future__ import annotations
+
+from tests.lint.conftest import rule_ids
+
+#: Seeded violation: ``refresh()`` reaches the shared ``_write`` helper
+#: without the lock, so the write inside it is not dominated.
+STORE_WITH_UNLOCKED_PATH = """
+    import os
+
+
+    class _StoreLock:
+        def __enter__(self):
+            os.mkdir("lockdir")
+            return self
+
+        def __exit__(self, *exc):
+            os.rmdir("lockdir")
+
+
+    class RunStore:
+        def __init__(self, root):
+            self._lock = _StoreLock()
+
+        def append(self, record):
+            with self._lock:
+                self._write(record)
+
+        def refresh(self):
+            self._write(None)
+
+        def _write(self, record):
+            with open("index", "a") as handle:
+                handle.write("row")
+"""
+
+#: The good twin: every caller of ``_write`` enters under the lock, so the
+#: write is dominated without being lexically inside a lock ``with``.
+STORE_ALL_PATHS_LOCKED = STORE_WITH_UNLOCKED_PATH.replace(
+    """
+        def refresh(self):
+            self._write(None)
+""",
+    """
+        def refresh(self):
+            with self._lock:
+                self._write(None)
+""",
+)
+
+#: Minimal store module for the L502 reachability fixtures.
+PLAIN_STORE = """
+    class RunStore:
+        def __init__(self, root):
+            self._root = root
+
+        def append(self, record):
+            return record
+"""
+
+
+class TestL501StoreWritesLocked:
+    def test_fires_on_unlocked_write_path(self, project):
+        project.write("src/repro/results/store.py", STORE_WITH_UNLOCKED_PATH)
+        report = project.lint(select=("L501",))
+        assert rule_ids(report) == ["L501"]
+        (finding,) = report.findings
+        assert finding.path == "src/repro/results/store.py"
+        assert "handle.write() in RunStore._write" in finding.message
+
+    def test_silent_when_every_caller_is_locked(self, project):
+        project.write("src/repro/results/store.py", STORE_ALL_PATHS_LOCKED)
+        report = project.lint(select=("L501",))
+        assert rule_ids(report) == []
+
+    def test_lock_class_is_exempt(self, project):
+        # _StoreLock's own writes (mkdir/rmdir) acquire the lock; requiring
+        # the lock there would be circular.  The good twin isolates them.
+        project.write("src/repro/results/store.py", STORE_ALL_PATHS_LOCKED)
+        report = project.lint(select=("L501",))
+        assert rule_ids(report) == []
+
+    def test_other_modules_out_of_scope(self, project):
+        project.write(
+            "src/repro/util/io.py",
+            """
+            def dump(path, text):
+                with open(path, "w") as handle:
+                    handle.write(text)
+            """,
+        )
+        report = project.lint(select=("L501",))
+        assert rule_ids(report) == []
+
+
+class TestL502NoStoreCaptureAcrossFork:
+    def test_fires_on_lambda_worker(self, project):
+        project.write(
+            "src/repro/experiments/executor.py",
+            """
+            def run(jobs, pool):
+                return pool.imap_unordered(lambda job: job, jobs)
+            """,
+        )
+        report = project.lint(select=("L502",))
+        assert rule_ids(report) == ["L502"]
+        assert "is a lambda" in report.findings[0].message
+
+    def test_fires_on_bound_method_worker(self, project):
+        project.write(
+            "src/repro/experiments/executor.py",
+            """
+            class Executor:
+                def run(self, jobs, pool):
+                    return pool.map(self._work, jobs)
+
+                def _work(self, job):
+                    return job
+            """,
+        )
+        report = project.lint(select=("L502",))
+        assert rule_ids(report) == ["L502"]
+        assert "is a bound method" in report.findings[0].message
+
+    def test_bound_method_on_store_holder_names_the_handle(self, project):
+        project.write("src/repro/results/store.py", PLAIN_STORE)
+        project.write(
+            "src/repro/experiments/executor.py",
+            """
+            from repro.results.store import RunStore
+
+            class Harness:
+                def __init__(self):
+                    self.store = RunStore("runs")
+
+                def run(self, jobs, pool):
+                    return pool.map(self._work, jobs)
+
+                def _work(self, job):
+                    return job
+            """,
+        )
+        report = project.lint(select=("L502",))
+        assert rule_ids(report) == ["L502"]
+        assert "holding an open store handle" in report.findings[0].message
+
+    def test_fires_on_nested_function_worker(self, project):
+        project.write(
+            "src/repro/experiments/executor.py",
+            """
+            def run(jobs, pool):
+                def work(job):
+                    return job
+
+                return pool.map(work, jobs)
+            """,
+        )
+        report = project.lint(select=("L502",))
+        assert rule_ids(report) == ["L502"]
+        assert "is a nested function" in report.findings[0].message
+
+    def test_fires_on_worker_reaching_the_store(self, project):
+        project.write("src/repro/results/store.py", PLAIN_STORE)
+        project.write(
+            "src/repro/experiments/executor.py",
+            """
+            from repro.results.store import RunStore
+
+            def work(job):
+                store = RunStore("runs")
+                return store.append(job)
+
+            def run(jobs, pool):
+                return pool.map(work, jobs)
+            """,
+        )
+        report = project.lint(select=("L502",))
+        assert rule_ids(report) == ["L502"]
+        assert "transitively calls" in report.findings[0].message
+
+    def test_fires_on_process_target_keyword(self, project):
+        project.write(
+            "src/repro/experiments/executor.py",
+            """
+            import multiprocessing
+
+            def run(store):
+                return multiprocessing.Process(target=lambda: store)
+            """,
+        )
+        report = project.lint(select=("L502",))
+        assert rule_ids(report) == ["L502"]
+
+    def test_silent_on_clean_module_level_worker(self, project):
+        project.write("src/repro/results/store.py", PLAIN_STORE)
+        project.write(
+            "src/repro/experiments/executor.py",
+            """
+            def work(job):
+                return job * 2
+
+            def run(jobs, pool):
+                return pool.imap_unordered(work, jobs)
+            """,
+        )
+        report = project.lint(select=("L502",))
+        assert rule_ids(report) == []
+
+    def test_tests_tree_is_exempt(self, project):
+        project.write(
+            "tests/experiments/test_pool.py",
+            """
+            def test_run(pool):
+                assert pool.map(lambda job: job, [1])
+            """,
+        )
+        report = project.lint(paths=("tests",), select=("L502",))
+        assert rule_ids(report) == []

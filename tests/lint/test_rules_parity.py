@@ -1,0 +1,181 @@
+"""P-rules: oracle twin signatures (P601) and toggle flipping (P602)."""
+
+from __future__ import annotations
+
+from tests.lint.conftest import rule_ids
+
+#: Twin pair whose naive side drifted: ``get`` is missing and ``add`` takes
+#: a different signature.
+DRIFTED_TWINS = """
+    class DataCache:
+        def add(self, name, value, extra=None):
+            return value
+
+        def get(self, name):
+            return name
+
+    class NaiveDataCache:
+        def add(self, name, value):
+            return value
+"""
+
+MATCHING_TWINS = """
+    class DataCache:
+        def add(self, name, value, extra=None):
+            return value
+
+        def get(self, name):
+            return name
+
+    class NaiveDataCache:
+        def add(self, name, value, extra=None):
+            return value
+
+        def get(self, name):
+            return name
+"""
+
+#: The module whose attribute oracle_mode() rebinds to the naive twin.
+NODE_BASE = """
+    from repro.core.cache import DataCache
+
+    def make_cache():
+        return DataCache()
+"""
+
+SWAP_HARNESS = """
+    from repro.core import node_base as node_base_module
+    from repro.core.cache import NaiveDataCache
+
+    def oracle_mode():
+        saved = node_base_module.DataCache
+        node_base_module.DataCache = NaiveDataCache
+        node_base_module.DataCache = saved
+"""
+
+TOGGLE_NETWORK = """
+    class Network:
+        ADV_FAST_PATH = True
+
+        def send(self):
+            return None
+"""
+
+TOGGLE_HARNESS = """
+    from repro.core.network import Network
+
+    def oracle_mode():
+        saved = Network.ADV_FAST_PATH
+        Network.ADV_FAST_PATH = False
+        Network.ADV_FAST_PATH = saved
+"""
+
+PROTOCOLS_TEST = """
+    from tests.protocols.harness import oracle_mode
+
+    def test_parity():
+        with oracle_mode():
+            pass
+"""
+
+
+class TestP601OracleTwinSignatures:
+    def test_fires_on_drifted_twin(self, project):
+        project.write("src/repro/core/cache.py", DRIFTED_TWINS)
+        project.write("src/repro/core/node_base.py", NODE_BASE)
+        project.write("tests/protocols/harness.py", SWAP_HARNESS)
+        report = project.lint(select=("P601",))
+        assert rule_ids(report) == ["P601", "P601"]
+        messages = " / ".join(finding.message for finding in report.findings)
+        assert "missing public method get()" in messages
+        assert "add() signature differs" in messages
+        assert all(
+            finding.path == "src/repro/core/cache.py" for finding in report.findings
+        )
+
+    def test_silent_on_matching_twin(self, project):
+        project.write("src/repro/core/cache.py", MATCHING_TWINS)
+        project.write("src/repro/core/node_base.py", NODE_BASE)
+        project.write("tests/protocols/harness.py", SWAP_HARNESS)
+        report = project.lint(select=("P601",))
+        assert rule_ids(report) == []
+
+    def test_naive_only_method_is_drift_too(self, project):
+        project.write(
+            "src/repro/core/cache.py",
+            MATCHING_TWINS.replace(
+                """
+    class NaiveDataCache:
+""",
+                """
+    class NaiveDataCache:
+        def items(self):
+            return []
+""",
+            ),
+        )
+        project.write("src/repro/core/node_base.py", NODE_BASE)
+        project.write("tests/protocols/harness.py", SWAP_HARNESS)
+        report = project.lint(select=("P601",))
+        assert rule_ids(report) == ["P601"]
+        assert "drifted ahead of the fast path" in report.findings[0].message
+
+    def test_silent_without_a_harness(self, project):
+        # C301 owns the missing-harness finding; P601 must not crash or
+        # pile a second finding on top.
+        project.write("src/repro/core/cache.py", DRIFTED_TWINS)
+        project.write("src/repro/core/node_base.py", NODE_BASE)
+        report = project.lint(select=("P601",))
+        assert rule_ids(report) == []
+
+
+class TestP602ToggleFlipped:
+    def test_fires_when_toggle_not_flipped(self, project):
+        project.write("src/repro/core/network.py", TOGGLE_NETWORK)
+        project.write(
+            "tests/protocols/harness.py",
+            """
+            def oracle_mode():
+                return None
+            """,
+        )
+        report = project.lint(select=("P602",))
+        assert rule_ids(report) == ["P602"]
+        assert "Network.ADV_FAST_PATH is not flipped" in report.findings[0].message
+
+    def test_fires_when_harness_missing_entirely(self, project):
+        project.write("src/repro/core/network.py", TOGGLE_NETWORK)
+        report = project.lint(select=("P602",))
+        assert rule_ids(report) == ["P602"]
+
+    def test_fires_when_flipped_but_never_exercised(self, project):
+        project.write("src/repro/core/network.py", TOGGLE_NETWORK)
+        project.write("tests/protocols/harness.py", TOGGLE_HARNESS)
+        report = project.lint(select=("P602",))
+        assert rule_ids(report) == ["P602"]
+        assert "no test under tests/protocols/" in report.findings[0].message
+
+    def test_silent_when_flipped_and_exercised(self, project):
+        project.write("src/repro/core/network.py", TOGGLE_NETWORK)
+        project.write("tests/protocols/harness.py", TOGGLE_HARNESS)
+        project.write("tests/protocols/test_parity.py", PROTOCOLS_TEST)
+        report = project.lint(select=("P602",))
+        assert rule_ids(report) == []
+
+    def test_non_boolean_and_lowercase_attrs_are_not_toggles(self, project):
+        project.write(
+            "src/repro/core/network.py",
+            """
+            class Network:
+                MAX_RETRIES = 4
+                default_region = "r0"
+                _PRIVATE_FLAG = True
+
+                def send(self):
+                    return None
+            """,
+        )
+        report = project.lint(select=("P602",))
+        # The int and the lowercase attr are shape mismatches, and the
+        # leading underscore keeps _PRIVATE_FLAG off the ALL_CAPS pattern.
+        assert rule_ids(report) == []
