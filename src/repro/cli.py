@@ -13,8 +13,10 @@ code:
 * ``compare``   — run SPMS and SPIN on the same scenario and print the
   headline metrics (energy per item, average delay, delivery ratio).
 * ``sweep``     — expand a registered scenario matrix into independent jobs
-  and execute them across a worker pool, with optional content-addressed
-  result caching and ``--resume``.
+  and execute them across a supervised worker pool, with optional
+  content-addressed result caching and ``--resume``; fault tolerance is
+  first-class (``--job-timeout``, ``--max-retries``, and the deterministic
+  ``--chaos`` fault-injection dev flag).
 * ``list``      — list registered components (protocols, workloads,
   placements, mobility/failure/contention models) or scenario matrices.
 * ``bench``     — run a named kernel benchmark serially in-process and append
@@ -37,12 +39,17 @@ Examples::
     python -m repro compare --nodes 49 --radius 20
     python -m repro sweep fig06 --workers 4
     python -m repro sweep fig06 --workers 4 --cache-dir .sweep-cache --resume
+    python -m repro sweep fig06 --workers 2 --job-timeout 30 --max-retries 1
     python -m repro sweep --list
     python -m repro bench fig06
     python -m repro bench --quick --output /tmp/bench-smoke.json
     python -m repro figure fig6
     python -m repro figure fig3
     python -m repro table1
+
+Exit codes: 0 success; 1 drift or lint findings; 2 usage or input errors;
+3 partial failure — a sweep that quarantined or was interrupted mid-run, or
+``repro report --strict`` on a run directory that recorded failures.
 """
 
 from __future__ import annotations
@@ -73,6 +80,7 @@ from repro.experiments.config import (
     SimulationConfig,
     SpecValidationError,
 )
+from repro.experiments.chaos import ChaosSpec, ChaosSpecError
 from repro.experiments.executor import assemble_sweep, execute_jobs, stream_jobs
 from repro.experiments.matrix import SweepJob, available_matrices, get_matrix
 from repro.experiments.runner import ExperimentRunner, run_scenario
@@ -98,6 +106,13 @@ from repro.results import (
     RunStoreError,
     ScenarioResult,
 )
+
+#: Exit code of a run that finished but could not complete every job: a
+#: sweep with quarantined failures or an interrupt-shortened pool, and
+#: ``report --strict`` over a run directory whose sidecar records failures.
+#: Distinct from 2 (usage errors) so CI can tell "you called it wrong" from
+#: "it ran and some jobs died" — the chaos smoke test pins this.
+EXIT_PARTIAL_FAILURE = 3
 
 #: Metric names accepted by ``sweep --metric`` / ``report --metric`` — the
 #: numeric scalar headline metrics every record exposes (names like
@@ -207,6 +222,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", dest="as_json",
         help="print the selected records as JSON instead of a table",
     )
+    report.add_argument(
+        "--strict", action="store_true",
+        help=f"exit {EXIT_PARTIAL_FAILURE} when the run directory recorded "
+             "quarantined job failures (failures.jsonl); CI gates use this",
+    )
 
     list_cmd = subparsers.add_parser(
         "list", help="list registered components or scenario matrices"
@@ -265,6 +285,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--quiet", action="store_true", help="suppress per-job progress lines"
+    )
+    sweep.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock budget; a hung job's worker is killed "
+             "and the job retried (needs --workers >= 2)",
+    )
+    sweep.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="retries per job after its first failed attempt before the job "
+             "is quarantined to failures.jsonl (default: 2)",
+    )
+    sweep.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="deterministic fault injection (dev/testing): comma-separated "
+             "INDEX:MODE[:ATTEMPT] tokens, MODE in raise/hang/kill — e.g. "
+             "'0:raise,2:hang,4:kill' (hang/kill need --workers >= 2)",
     )
 
     bench = subparsers.add_parser(
@@ -503,8 +539,18 @@ def _run_spec_batch(args: argparse.Namespace, out: Callable[[str], None]) -> int
     out(f"batch: {len(jobs)} spec(s), workers={args.workers}"
         + (f", run-dir={args.run_dir}" if args.run_dir else ""))
     records: List[RunRecord] = []
+    failures = []
     for completion in stream_jobs(jobs, workers=args.workers, store=store):
         record = completion.record
+        if record is None:
+            failures.append(completion.failure)
+            if not args.as_json:
+                out(
+                    f"  [fail] {completion.job.key}: quarantined after "
+                    f"{completion.failure.attempt_count} attempt(s) — "
+                    f"{completion.failure.last_detail}"
+                )
+            continue
         records.append(record)
         if not args.as_json:
             out(
@@ -516,12 +562,16 @@ def _run_spec_batch(args: argparse.Namespace, out: Callable[[str], None]) -> int
     records.sort(key=lambda r: r.key)
     if args.as_json:
         out(json.dumps([r.to_dict() for r in records], sort_keys=True, indent=1))
-        return 0
+        return EXIT_PARTIAL_FAILURE if failures else 0
     out("")
     out(_record_table(records, "energy_per_item_uj"))
     if store is not None:
         out("")
         out(f"{len(records)} record(s) appended to {args.run_dir}")
+    if failures:
+        out(f"{len(failures)} spec(s) FAILED"
+            + (f"; see {store.failures_path}" if store is not None else ""))
+        return EXIT_PARTIAL_FAILURE
     return 0
 
 
@@ -544,26 +594,37 @@ def _cmd_report(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         return 2
     try:
         records = store.query(protocol=args.protocol)
+        failures = store.failures()
     except RunStoreError as exc:
         out(f"unreadable run directory: {exc}")
         return 2
-    if not records:
+    if not records and not failures:
         out(f"no records in {args.run_dir}"
             + (f" for protocol {args.protocol!r}" if args.protocol else ""))
         return 2
     records = sorted(records, key=lambda r: r.key)
     if args.as_json:
         out(json.dumps([r.to_dict() for r in records], sort_keys=True, indent=1))
-        return 0
+        return EXIT_PARTIAL_FAILURE if (args.strict and failures) else 0
     out(f"{len(records)} record(s) in {args.run_dir}")
     out("")
     out(_record_table(records, args.metric))
+    if failures:
+        out("")
+        out(f"{len(failures)} job(s) FAILED in this run (see {store.failures_path}):")
+        for failure in sorted(failures, key=lambda f: f.key):
+            out(
+                f"  {failure.key}: {failure.last_outcome} after "
+                f"{failure.attempt_count} attempt(s) — {failure.last_detail}"
+            )
     for partial in store.partial_paths():
         out("")
         out(
             f"note: {partial} holds quarantined partial lines from an "
             "interrupted writer; the records above are unaffected"
         )
+    if args.strict and failures:
+        return EXIT_PARTIAL_FAILURE
     return 0
 
 
@@ -628,6 +689,30 @@ def _cmd_sweep(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     if args.resume and not args.cache_dir:
         out("--resume needs --cache-dir (there is no cache to resume from)")
         return 2
+    chaos = None
+    if args.chaos is not None:
+        try:
+            chaos = ChaosSpec.parse(args.chaos)
+        except ChaosSpecError as exc:
+            out(f"--chaos: {exc}")
+            return 2
+    if args.workers < 2:
+        # Timeout enforcement and hang/kill injection act on *worker
+        # processes*; a serial run has no supervisor to kill anything.
+        if args.job_timeout is not None:
+            out("--job-timeout needs --workers >= 2 (a serial run has no "
+                "supervisor to kill a hung attempt)")
+            return 2
+        if chaos is not None and chaos.needs_pool():
+            out(f"--chaos {chaos.describe()!r} injects hang/kill faults, "
+                "which need --workers >= 2")
+            return 2
+    if args.job_timeout is not None and args.job_timeout <= 0:
+        out(f"--job-timeout must be positive, got {args.job_timeout:g}")
+        return 2
+    if args.max_retries < 0:
+        out(f"--max-retries must be >= 0, got {args.max_retries}")
+        return 2
     scale = figures.paper_scale() if args.scale == "paper" else figures.bench_scale()
     try:
         matrix = get_matrix(args.matrix, scale=scale)
@@ -650,8 +735,14 @@ def _cmd_sweep(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
     store = RunStore(args.run_dir) if args.run_dir else None
 
+    if chaos is not None:
+        out(f"chaos: injecting {chaos.describe()}")
+
     def progress(job, record, from_cache):
         if args.quiet:
+            return
+        if record is None:
+            out(f"  [ fail] {job.key}: quarantined after exhausting attempts")
             return
         source = "cache" if from_cache else "run"
         out(
@@ -666,14 +757,20 @@ def _cmd_sweep(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         resume=args.resume,
         progress=progress,
         store=store,
+        job_timeout=args.job_timeout,
+        max_attempts=args.max_retries + 1,
+        chaos=chaos,
     )
     sweep = assemble_sweep(jobs, records)
     out("")
     out(sweep.format_table(args.metric))
     out("")
+    retries = f", {report.retried} retried" if report.retried else ""
+    quarantined = f", {report.quarantined} FAILED" if report.quarantined else ""
     out(
-        f"{report.executed} simulated, {report.cache_hits} from cache, "
-        f"{report.workers} worker(s), {report.elapsed_s:.2f} s wall-clock"
+        f"{report.executed} simulated, {report.cache_hits} from cache"
+        f"{retries}{quarantined}, {report.workers} worker(s), "
+        f"{report.elapsed_s:.2f} s wall-clock"
     )
     merged = report.merged_summary
     if merged is not None and merged.items_generated:
@@ -682,6 +779,20 @@ def _cmd_sweep(args: argparse.Namespace, out: Callable[[str], None]) -> int:
             f"{merged.deliveries_completed} deliveries, "
             f"{merged.total_energy_uj:.1f} uJ total energy"
         )
+    for failure in report.failures:
+        out(
+            f"failed: {failure.key} after {failure.attempt_count} attempt(s) "
+            f"— {failure.last_outcome}: {failure.last_detail}"
+        )
+    if report.failures and store is not None:
+        out(f"failure records appended to {store.failures_path}")
+    if report.interrupted:
+        out(
+            f"interrupted: {report.completed}/{report.total_jobs} job(s) "
+            "completed before shutdown"
+        )
+    if report.quarantined or report.interrupted:
+        return EXIT_PARTIAL_FAILURE
     return 0
 
 

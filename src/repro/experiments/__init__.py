@@ -16,6 +16,12 @@ serially or across a ``multiprocessing`` pool — by
 :class:`~repro.experiments.results.ResultCache`.
 """
 
+from repro.experiments.chaos import (
+    ChaosError,
+    ChaosInjection,
+    ChaosSpec,
+    ChaosSpecError,
+)
 from repro.experiments.config import (
     FailureConfig,
     MobilityConfig,
@@ -27,6 +33,12 @@ from repro.experiments.executor import (
     JobCompletion,
     execute_jobs,
     stream_jobs,
+)
+from repro.experiments.supervisor import (
+    SupervisedPool,
+    SupervisedResult,
+    retry_backoff_s,
+    run_serial,
 )
 from repro.experiments.matrix import (
     ScenarioMatrix,
@@ -55,10 +67,16 @@ from repro.experiments.sweep import run_matrix, sweep_nodes, sweep_radius
 from repro.experiments import claims, figures
 
 __all__ = [
+    "ChaosError",
+    "ChaosInjection",
+    "ChaosSpec",
+    "ChaosSpecError",
     "ExecutionReport",
     "ExperimentRunner",
     "FailureConfig",
     "JobCompletion",
+    "SupervisedPool",
+    "SupervisedResult",
     "MetricsSummary",
     "MobilityConfig",
     "ResultCache",
@@ -82,8 +100,10 @@ __all__ = [
     "get_matrix",
     "line_positions",
     "register_matrix",
+    "retry_backoff_s",
     "run_matrix",
     "run_scenario",
+    "run_serial",
     "run_scenario_record",
     "single_pair_scenario",
     "stream_jobs",

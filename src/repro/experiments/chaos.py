@@ -1,0 +1,181 @@
+"""Deterministic fault injection for the supervised sweep executor.
+
+A :class:`ChaosSpec` is a set of *injections*: "job ``k`` must raise / hang /
+SIGKILL its worker on attempt ``n``".  The spec travels to every worker
+process, and :meth:`ChaosSpec.apply` fires at the top of each attempt —
+before the simulation builds — so an injected fault never perturbs the RNG
+streams, event order or metrics of any *other* job.  That is what lets the
+fault-tolerance tests state the executor's key invariant exactly: surviving
+records are byte-identical to a fault-free run.
+
+There is **no entropy** here: injections name explicit (job, attempt)
+coordinates, so a chaos run is as reproducible as a clean one — the same
+spec always quarantines the same jobs with the same attempt trails.  This
+mirrors how ``tests/results/test_store_crash.py`` injects byte-exact torn
+tails next to one real SIGKILL.
+
+The CLI exposes the harness as a dev flag::
+
+    repro sweep fig06 --workers 2 --chaos "0:raise,2:hang,4:kill" \\
+        --job-timeout 10 --run-dir runs/chaos
+
+Spec format: comma-separated ``INDEX:MODE[:ATTEMPT]`` tokens.  ``INDEX`` is
+the job's matrix-expansion index, ``MODE`` one of ``raise``/``hang``/
+``kill``.  Without ``:ATTEMPT`` the injection fires on *every* attempt (a
+persistent fault — the job ends up quarantined); with it, only on that one
+attempt (a transient fault — the retry succeeds).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: Injection modes: raise inside the worker, hang past any timeout, or
+#: SIGKILL the worker process mid-job.
+CHAOS_MODES = ("raise", "hang", "kill")
+
+
+class ChaosSpecError(ValueError):
+    """A chaos spec string failed to parse or validate."""
+
+
+class ChaosError(RuntimeError):
+    """The exception an injected ``raise`` fault throws inside a worker."""
+
+
+@dataclass(frozen=True)
+class ChaosInjection:
+    """One injected fault at a (job, attempt) coordinate.
+
+    Attributes:
+        job_index: Matrix-expansion index of the target job.
+        mode: ``"raise"``, ``"hang"`` or ``"kill"``.
+        attempt: 1-based attempt the fault fires on, or ``None`` for every
+            attempt (persistent fault).
+    """
+
+    job_index: int
+    mode: str
+    attempt: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in CHAOS_MODES:
+            raise ChaosSpecError(
+                f"unknown chaos mode {self.mode!r}; expected one of {CHAOS_MODES}"
+            )
+        if self.job_index < 0:
+            raise ChaosSpecError(f"chaos job index must be >= 0, got {self.job_index}")
+        if self.attempt is not None and self.attempt < 1:
+            raise ChaosSpecError(f"chaos attempt must be >= 1, got {self.attempt}")
+
+    def matches(self, job_index: int, attempt: int) -> bool:
+        if job_index != self.job_index:
+            return False
+        return self.attempt is None or attempt == self.attempt
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A deterministic set of injections, applied inside worker attempts."""
+
+    injections: Tuple[ChaosInjection, ...] = ()
+
+    @classmethod
+    def parse(cls, text: str) -> "ChaosSpec":
+        """Parse the CLI spec format (see the module docstring).
+
+        Raises:
+            ChaosSpecError: On malformed tokens, unknown modes, or two
+                injections claiming the same (job, attempt) coordinate.
+        """
+        injections = []
+        claimed: Dict[Tuple[int, Optional[int]], str] = {}
+        for token in text.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            parts = token.split(":")
+            if len(parts) not in (2, 3):
+                raise ChaosSpecError(
+                    f"malformed chaos token {token!r}; expected INDEX:MODE[:ATTEMPT]"
+                )
+            try:
+                job_index = int(parts[0])
+            except ValueError:
+                raise ChaosSpecError(
+                    f"chaos token {token!r}: job index {parts[0]!r} is not an integer"
+                ) from None
+            attempt: Optional[int] = None
+            if len(parts) == 3:
+                try:
+                    attempt = int(parts[2])
+                except ValueError:
+                    raise ChaosSpecError(
+                        f"chaos token {token!r}: attempt {parts[2]!r} is not an integer"
+                    ) from None
+            coordinate = (job_index, attempt)
+            if coordinate in claimed:
+                raise ChaosSpecError(
+                    f"chaos token {token!r} re-claims job {job_index} "
+                    f"(already {claimed[coordinate]!r})"
+                )
+            injection = ChaosInjection(
+                job_index=job_index, mode=parts[1].strip().lower(), attempt=attempt
+            )
+            claimed[coordinate] = injection.mode
+            injections.append(injection)
+        if not injections:
+            raise ChaosSpecError("empty chaos spec; expected INDEX:MODE[:ATTEMPT],...")
+        return cls(injections=tuple(injections))
+
+    def find(self, job_index: int, attempt: int) -> Optional[ChaosInjection]:
+        """The injection firing at this (job, attempt), if any.
+
+        Attempt-pinned injections win over persistent ones on the same job,
+        so ``"3:kill:1,3:raise"`` kills once then raises forever after.
+        """
+        persistent = None
+        for injection in self.injections:
+            if not injection.matches(job_index, attempt):
+                continue
+            if injection.attempt is not None:
+                return injection
+            persistent = injection
+        return persistent
+
+    def needs_pool(self) -> bool:
+        """Whether any injection only makes sense under a worker pool.
+
+        ``hang`` and ``kill`` faults act on a *worker process* — serial
+        in-process execution has no supervisor to time out or respawn, so
+        those specs are rejected up front for ``workers <= 1``.
+        """
+        return any(injection.mode in ("hang", "kill") for injection in self.injections)
+
+    def apply(self, job_index: int, attempt: int) -> None:
+        """Fire the matching injection, if any (worker side, top of attempt)."""
+        injection = self.find(job_index, attempt)
+        if injection is None:
+            return
+        if injection.mode == "raise":
+            raise ChaosError(
+                f"chaos: injected failure for job {job_index} attempt {attempt}"
+            )
+        if injection.mode == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        # "hang": block until the supervisor's wall-clock timeout kills the
+        # worker.  Sleeping in a loop (rather than one huge sleep) keeps the
+        # worker promptly killable on platforms that wake sleeps on signals.
+        while True:  # pragma: no cover - only ever exited by SIGKILL
+            time.sleep(60.0)
+
+    def describe(self) -> str:
+        """Compact human rendering for progress banners."""
+        return ",".join(
+            f"{i.job_index}:{i.mode}" + ("" if i.attempt is None else f":{i.attempt}")
+            for i in self.injections
+        )

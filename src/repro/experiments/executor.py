@@ -3,10 +3,20 @@
 The executor takes the flat job list produced by
 :meth:`repro.experiments.matrix.ScenarioMatrix.expand` and runs it either
 serially (``workers <= 1``; zero multiprocessing overhead) or across a
-``multiprocessing`` pool.  Because every job is self-contained and carries its
-own derived seed, the two paths produce **identical** results — the
-determinism regression tests assert byte-equality of the canonical record
-renderings.
+**supervised** worker pool (:mod:`repro.experiments.supervisor`).  Because
+every job is self-contained and carries its own derived seed, the two paths
+produce **identical** results — the determinism regression tests assert
+byte-equality of the canonical record renderings.
+
+Since PR 9 job failure is an outcome, not an abort: a raising job is retried
+(bounded, deterministic backoff) and quarantined into a structured
+:class:`~repro.results.JobFailure` if it keeps failing; a hung job is killed
+at ``job_timeout`` and its worker respawned; a worker that dies (SIGKILL,
+segfault) is respawned with its in-flight job requeued.  Quarantined jobs
+surface in the :class:`ExecutionReport` and in the run directory's
+``failures.jsonl`` sidecar — the sweep always completes every job it can.
+Surviving records are byte-identical to a fault-free run no matter which
+other jobs failed (the fault-injection tests pin this over canonical bytes).
 
 Workers reduce their :class:`~repro.metrics.collector.MetricsCollector` to a
 compact :class:`~repro.metrics.summary.MetricsSummary` *in-process* and ship a
@@ -15,7 +25,8 @@ O(1) instead of O(deliveries) — ``benchmarks/test_ipc_payload.py`` pins the
 reduction.  :func:`stream_jobs` is the core generator, yielding a
 :class:`JobCompletion` the moment each job finishes (serial: in expansion
 order; parallel: completion order); :func:`execute_jobs` drains it into the
-keyed-dictionary form most callers want.
+keyed-dictionary form most callers want, handling ``KeyboardInterrupt`` /
+``SIGTERM`` by tearing the pool down and returning a partial report.
 
 Results are keyed by the job's stable key (never by completion order).  Two
 persistence hooks compose: an optional
@@ -28,30 +39,63 @@ persistence hooks compose: an optional
 from __future__ import annotations
 
 import dataclasses
-import multiprocessing
 import os
+import signal
+import sys
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.experiments.chaos import ChaosSpec
 from repro.experiments.matrix import SweepJob
 from repro.experiments.runner import ExperimentRunner
+from repro.experiments.supervisor import (
+    DEFAULT_MAX_ATTEMPTS,
+    SupervisedPool,
+    SupervisedResult,
+    run_serial,
+)
 from repro.metrics.summary import MetricsSummary
-from repro.results import ResultCache, RunRecord, RunStore, SweepResult, spec_fingerprint
+from repro.results import (
+    JobFailure,
+    ResultCache,
+    RunRecord,
+    RunStore,
+    SweepResult,
+    spec_fingerprint,
+)
 
 #: Environment variable consulted for the default worker count (used by the
 #: figure generators and benchmarks so `REPRO_SWEEP_WORKERS=4 pytest
 #: benchmarks` parallelises every figure without code changes).
 WORKERS_ENV_VAR = "REPRO_SWEEP_WORKERS"
 
-ProgressCallback = Callable[[SweepJob, RunRecord, bool], None]
+#: *record* is ``None`` when the completion is a quarantined failure.
+ProgressCallback = Callable[[SweepJob, Optional[RunRecord], bool], None]
+
+_workers_warning_emitted = False
 
 
 def default_workers() -> int:
-    """Worker count from ``REPRO_SWEEP_WORKERS`` (defaults to serial)."""
+    """Worker count from ``REPRO_SWEEP_WORKERS`` (defaults to serial).
+
+    An unparseable value falls back to serial but **warns once** on stderr —
+    a typo like ``REPRO_SWEEP_WORKERS=four`` silently serialising a long
+    sweep is exactly the kind of quiet degradation this repo lints against.
+    """
+    global _workers_warning_emitted
+    raw = os.environ.get(WORKERS_ENV_VAR, "1")
     try:
-        return max(1, int(os.environ.get(WORKERS_ENV_VAR, "1")))
+        return max(1, int(raw))
     except ValueError:
+        if not _workers_warning_emitted:
+            _workers_warning_emitted = True
+            print(
+                f"repro: warning: {WORKERS_ENV_VAR}={raw!r} is not an integer; "
+                "falling back to serial execution",
+                file=sys.stderr,
+            )
         return 1
 
 
@@ -61,13 +105,23 @@ class JobCompletion:
 
     Attributes:
         job: The job that completed.
-        record: Its canonical run record.
+        record: Its canonical run record, or ``None`` if the job was
+            quarantined (see *failure*).
         from_cache: Whether the record was served from the result cache.
+        attempts: Attempts the supervisor consumed (0 for cache hits,
+            1 for a clean first-try run, >1 when retries were needed).
+        failure: The structured failure, when every attempt was exhausted.
     """
 
     job: SweepJob
-    record: RunRecord
+    record: Optional[RunRecord]
     from_cache: bool
+    attempts: int = 1
+    failure: Optional[JobFailure] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.record is not None
 
 
 @dataclass
@@ -76,11 +130,18 @@ class ExecutionReport:
 
     Attributes:
         total_jobs: Jobs requested.
-        executed: Jobs actually simulated.
+        executed: Jobs actually simulated to a successful record.
         cache_hits: Jobs served from the result cache.
+        retried: Successful jobs that needed more than one attempt.
+        quarantined: Jobs that exhausted every attempt (see *failures*).
+        failed_attempts: Total failed attempts across the run (retries that
+            eventually succeeded plus every attempt of quarantined jobs).
         workers: Worker processes used (1 = serial in-process).
         elapsed_s: Wall-clock duration of the whole execution.
+        interrupted: Whether the run was cut short by SIGINT/SIGTERM; the
+            report then covers only the jobs completed before shutdown.
         job_keys: Keys in expansion order (provenance).
+        failures: The quarantined jobs' structured failure records.
         merged_summary: Fold of every record's :class:`MetricsSummary`, in
             expansion order (so serial and parallel executions aggregate
             byte-identically).  Covers cache hits too — cached records carry
@@ -90,28 +151,31 @@ class ExecutionReport:
     total_jobs: int = 0
     executed: int = 0
     cache_hits: int = 0
+    retried: int = 0
+    quarantined: int = 0
+    failed_attempts: int = 0
     workers: int = 1
     elapsed_s: float = 0.0
+    interrupted: bool = False
     job_keys: List[str] = field(default_factory=list)
+    failures: List[JobFailure] = field(default_factory=list)
     merged_summary: Optional[MetricsSummary] = None
+
+    @property
+    def completed(self) -> int:
+        """Jobs that produced a record (simulated or cached)."""
+        return self.executed + self.cache_hits
 
 
 def _run_job(job: SweepJob) -> Tuple[int, RunRecord]:
-    """Worker entry point: run one job (module-level, hence picklable).
+    """Run one job in-process, unsupervised (module-level, hence picklable).
 
-    The record — with the collector already reduced to its summary — is the
-    *only* payload that crosses the process boundary.
+    Kept as the plain single-attempt entry point: the overhead benchmark
+    uses it as the un-supervised baseline, and it documents exactly what one
+    attempt inside the supervised pool executes.
     """
     runner = ExperimentRunner(job.spec)
     return job.index, runner.run_record(key=job.key, axes=job.axes)
-
-
-def _pool_context() -> multiprocessing.context.BaseContext:
-    """Fork where available (cheap on Linux), otherwise spawn."""
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - platforms without fork
-        return multiprocessing.get_context("spawn")
 
 
 def stream_jobs(
@@ -120,12 +184,17 @@ def stream_jobs(
     cache: Optional[ResultCache] = None,
     resume: bool = False,
     store: Optional[RunStore] = None,
+    job_timeout: Optional[float] = None,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    chaos: Optional[ChaosSpec] = None,
 ) -> Iterator[JobCompletion]:
     """Run every job, yielding each completion as soon as it is available.
 
     Cache hits are yielded first (they cost one disk read each); the
-    remaining jobs then stream back from the worker pool in completion
-    order, or in expansion order when running serially.
+    remaining jobs then stream back from the supervised pool in completion
+    order, or in expansion order when running serially.  Every job yields
+    exactly one completion — quarantined jobs yield one with
+    ``record=None`` and a :class:`~repro.results.JobFailure` attached.
 
     Args:
         jobs: Expanded sweep jobs (any order; results are keyed, not ordered).
@@ -139,17 +208,55 @@ def stream_jobs(
             requested set.  Appends happen in the parent under the store's
             advisory file lock, so several executors (or CLI runs) may
             share one ``--run-dir`` concurrently without losing records.
+            Quarantined jobs are appended to the store's ``failures.jsonl``
+            sidecar instead — canonical record bytes stay untouched.
+        job_timeout: Per-attempt wall-clock budget in seconds.  Requires a
+            worker pool (``workers >= 2``): a serial run has no supervisor
+            to kill a hung attempt.
+        max_attempts: Total tries per job before quarantine (>= 1).
+        chaos: Optional deterministic fault-injection spec (tests and the
+            ``--chaos`` dev flag).  ``hang``/``kill`` injections require a
+            worker pool for the same reason *job_timeout* does.
+
+    Raises:
+        ValueError: When *job_timeout* or a pool-only chaos spec is combined
+            with serial execution.
     """
     workers = max(1, int(workers))
+    if workers < 2:
+        if job_timeout is not None:
+            raise ValueError(
+                "job_timeout requires a worker pool (workers >= 2); a serial "
+                "run has no supervisor to kill a hung attempt"
+            )
+        if chaos is not None and chaos.needs_pool():
+            raise ValueError(
+                f"chaos spec {chaos.describe()!r} injects hang/kill faults, "
+                "which act on worker processes; use workers >= 2"
+            )
     pending: List[SweepJob] = []
     fingerprints: Dict[int, str] = {}
 
-    def complete(job: SweepJob, record: RunRecord, from_cache: bool) -> JobCompletion:
-        if not from_cache and cache is not None:
+    def complete(result: SupervisedResult) -> JobCompletion:
+        job = result.job
+        if result.failure is not None:
+            if store is not None:
+                store.append_failure(result.failure)
+            return JobCompletion(
+                job=job,
+                record=None,
+                from_cache=False,
+                attempts=result.attempts,
+                failure=result.failure,
+            )
+        record = result.record
+        if cache is not None:
             cache.store(fingerprints[job.index], record, spec=job.spec)
         if store is not None:
             record = store.append(record)
-        return JobCompletion(job=job, record=record, from_cache=from_cache)
+        return JobCompletion(
+            job=job, record=record, from_cache=False, attempts=result.attempts
+        )
 
     for job in jobs:
         if cache is not None:
@@ -166,21 +273,35 @@ def stream_jobs(
                     hit = dataclasses.replace(
                         hit, key=job.key, axes=dict(job.axes)
                     )
-                    yield complete(job, hit, True)
+                    if store is not None:
+                        hit = store.append(hit)
+                    yield JobCompletion(
+                        job=job, record=hit, from_cache=True, attempts=0
+                    )
                     continue
         pending.append(job)
 
-    by_index = {job.index: job for job in pending}
-    if workers <= 1 or len(pending) <= 1:
-        for job in pending:
-            _index, record = _run_job(job)
-            yield complete(job, record, False)
+    # A pool is only worth its process overhead when there is real
+    # parallelism to exploit — except that timeout enforcement and
+    # hang/kill chaos *need* worker processes even for a single job.
+    use_pool = workers >= 2 and bool(pending) and (
+        len(pending) > 1
+        or job_timeout is not None
+        or (chaos is not None and chaos.needs_pool())
+    )
+    if not use_pool:
+        yield from map(
+            complete,
+            run_serial(pending, max_attempts=max_attempts, chaos=chaos),
+        )
         return
-    context = _pool_context()
-    pool_size = min(workers, len(pending))
-    with context.Pool(processes=pool_size) as pool:
-        for index, record in pool.imap_unordered(_run_job, pending, chunksize=1):
-            yield complete(by_index[index], record, False)
+    pool = SupervisedPool(
+        workers=workers,
+        job_timeout_s=job_timeout,
+        max_attempts=max_attempts,
+        chaos=chaos,
+    )
+    yield from map(complete, pool.run(pending))
 
 
 def execute_jobs(
@@ -190,12 +311,22 @@ def execute_jobs(
     resume: bool = False,
     progress: Optional[ProgressCallback] = None,
     store: Optional[RunStore] = None,
+    job_timeout: Optional[float] = None,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    chaos: Optional[ChaosSpec] = None,
 ) -> Tuple[Dict[str, RunRecord], ExecutionReport]:
     """Run every job and return ``(records_by_key, report)``.
 
     A convenience wrapper draining :func:`stream_jobs`; see there for the
     argument semantics.  *progress* is invoked ``(job, record, from_cache)``
-    as each job completes (serial: in order; parallel: completion order).
+    as each job completes (serial: in order; parallel: completion order);
+    ``record`` is ``None`` for a quarantined failure.
+
+    ``KeyboardInterrupt`` (and ``SIGTERM``, when running on the main thread)
+    shuts down gracefully: the pool is torn down — supervised workers are
+    daemonic and explicitly killed, so no children leak — records completed
+    so far are already flushed to cache/store, and a *partial* report is
+    returned with ``interrupted=True`` instead of dying mid-append.
     """
     started = time.perf_counter()
     workers = max(1, int(workers))
@@ -203,16 +334,57 @@ def execute_jobs(
         total_jobs=len(jobs), workers=workers, job_keys=[j.key for j in jobs]
     )
     records: Dict[str, RunRecord] = {}
-    for completion in stream_jobs(
-        jobs, workers=workers, cache=cache, resume=resume, store=store
-    ):
-        records[completion.job.key] = completion.record
-        if completion.from_cache:
-            report.cache_hits += 1
-        else:
-            report.executed += 1
-        if progress is not None:
-            progress(completion.job, completion.record, completion.from_cache)
+    stream = stream_jobs(
+        jobs,
+        workers=workers,
+        cache=cache,
+        resume=resume,
+        store=store,
+        job_timeout=job_timeout,
+        max_attempts=max_attempts,
+        chaos=chaos,
+    )
+    sigterm_installed = False
+    previous_sigterm = None
+
+    def _sigterm_to_interrupt(signum, frame):  # pragma: no cover - signal path
+        raise KeyboardInterrupt
+
+    if threading.current_thread() is threading.main_thread():
+        try:
+            previous_sigterm = signal.signal(signal.SIGTERM, _sigterm_to_interrupt)
+            sigterm_installed = True
+        except (ValueError, OSError):  # pragma: no cover - restricted envs
+            sigterm_installed = False
+    try:
+        for completion in stream:
+            if completion.failure is not None:
+                report.quarantined += 1
+                report.failures.append(completion.failure)
+                report.failed_attempts += completion.failure.attempt_count
+            else:
+                records[completion.job.key] = completion.record
+                if completion.from_cache:
+                    report.cache_hits += 1
+                else:
+                    report.executed += 1
+                    if completion.attempts > 1:
+                        report.retried += 1
+                        report.failed_attempts += completion.attempts - 1
+            if progress is not None:
+                progress(completion.job, completion.record, completion.from_cache)
+    except KeyboardInterrupt:
+        # Graceful shutdown: closing the generator runs the supervisor's
+        # ``finally`` (kill + join every worker).  Completed records were
+        # flushed as they arrived, so the partial report is durable.
+        report.interrupted = True
+        stream.close()
+    finally:
+        if sigterm_installed:
+            signal.signal(
+                signal.SIGTERM,
+                previous_sigterm if previous_sigterm is not None else signal.SIG_DFL,
+            )
     # Fold the aggregate view in expansion order — not completion order — so
     # the merged floats are byte-identical between serial and parallel runs.
     merged = MetricsSummary()
@@ -246,8 +418,8 @@ def assemble_sweep(
 
     Rows follow the expansion order of *jobs*, so serial and parallel
     executions (whose completion orders differ) assemble identical sweeps.
-    Jobs missing from *records* (skipped, failed upstream) are tolerated —
-    their cells simply stay empty.
+    Jobs missing from *records* (skipped, quarantined, failed upstream) are
+    tolerated — their cells simply stay empty.
     """
     if not jobs:
         return SweepResult(parameter="value")

@@ -70,6 +70,14 @@ STORE_CLASSES: Tuple[str, ...] = ("RunStore",)
 #: Where the oracle-parity rules look for differential tests (P602).
 PROTOCOLS_TESTS_ROOT = "tests/protocols"
 
+#: Modules holding worker entry points and supervisor retry paths — the
+#: fault-tolerance layer where a swallowed exception silently loses a job
+#: instead of producing a JobFailure (R701).
+WORKER_MODULE_SUFFIXES: Tuple[str, ...] = (
+    "repro/experiments/supervisor.py",
+    "repro/experiments/executor.py",
+)
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -92,6 +100,7 @@ class LintConfig:
     store_lock_classes: Tuple[str, ...] = STORE_LOCK_CLASSES
     store_classes: Tuple[str, ...] = STORE_CLASSES
     protocols_tests_root: str = PROTOCOLS_TESTS_ROOT
+    worker_module_suffixes: Tuple[str, ...] = WORKER_MODULE_SUFFIXES
     #: Attach the resolved call graph to the report (``--graph-debug``).
     graph_debug: bool = False
 

@@ -315,6 +315,7 @@ def default_registry() -> RuleRegistry:
         rules_locks,
         rules_parity,
         rules_policy,
+        rules_robustness,
         rules_slots,
         rules_taint,
     )

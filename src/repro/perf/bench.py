@@ -46,7 +46,11 @@ class BenchScenario:
         description: One-line human description for ``repro bench --list``.
         kind: ``"matrix"`` runs simulation jobs; ``"store-append"`` times the
             :class:`~repro.results.RunStore` append path instead (one
-            synthetic record per "event", into a throwaway run directory).
+            synthetic record per "event", into a throwaway run directory);
+            ``"sweep-overhead"`` runs the jobs through the supervised
+            2-worker pool so the trajectory tracks executor supervision
+            overhead (same canonical digest as the serial run — the pool
+            must not move bytes, only wall time).
     """
 
     name: str
@@ -135,6 +139,16 @@ register_benchmark(
         kind="store-append",
         max_jobs=10_000,
         description="append 10k records to one RunStore (locked sidecar-index path)",
+    )
+)
+register_benchmark(
+    BenchScenario(
+        name="sweep-overhead",
+        matrix="fig06",
+        max_jobs=2,
+        kind="sweep-overhead",
+        description="quick fig06 jobs through the supervised 2-worker pool "
+                    "(executor supervision overhead)",
     )
 )
 
@@ -241,6 +255,52 @@ def _run_store_append_benchmark(scenario: BenchScenario) -> Dict[str, object]:
     }
 
 
+def _run_sweep_overhead_benchmark(scenario: BenchScenario) -> Dict[str, object]:
+    """Time the scenario's jobs through the supervised 2-worker pool.
+
+    The timed section is the whole :func:`~repro.experiments.executor.
+    execute_jobs` call — process spawn, dispatch, supervision polling, IPC
+    and teardown — so the trajectory notices when supervision machinery gets
+    more expensive.  The digest is computed over ``canonical_json`` in job
+    order (not completion order), so it must equal the serial ``quick``
+    benchmark's digest for the same jobs: supervised execution may only move
+    wall time, never bytes.  One "event" is one completed delivery — the
+    record-level proxy for kernel work (workers reduce collectors in-process,
+    so the parent never sees raw event counts).
+    """
+    from repro.experiments.executor import execute_jobs
+
+    jobs = scenario.jobs()
+    started = time.perf_counter()
+    records, report = execute_jobs(jobs, workers=2)
+    wall_time_s = time.perf_counter() - started
+    if report.quarantined or len(records) != len(jobs):
+        raise RuntimeError(
+            f"sweep-overhead benchmark lost jobs: {len(records)}/{len(jobs)} "
+            f"completed, {report.quarantined} quarantined"
+        )
+    ordered = [records[job.key] for job in jobs]
+    digest = hashlib.sha256(
+        "\n".join(r.canonical_json() for r in ordered).encode("utf-8")
+    ).hexdigest()
+    deliveries = sum(r.deliveries_completed for r in ordered)
+    return {
+        BENCH_SCHEMA_KEY: BENCH_SCHEMA_VERSION,
+        "benchmark": scenario.name,
+        "matrix": scenario.matrix,
+        "scale": scenario.scale,
+        "jobs": len(jobs),
+        "events_processed": deliveries,
+        "sim_time_ms": sum(r.sim_time_ms for r in ordered),
+        "wall_time_s": wall_time_s,
+        "events_per_sec": (deliveries / wall_time_s) if wall_time_s > 0 else 0.0,
+        "canonical_digest": digest,
+        "git": git_metadata(),
+        "python_version": platform.python_version(),
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+
+
 def run_benchmark(scenario: BenchScenario) -> Dict[str, object]:
     """Run *scenario* serially in-process and return its bench record.
 
@@ -251,6 +311,8 @@ def run_benchmark(scenario: BenchScenario) -> Dict[str, object]:
 
     if scenario.kind == "store-append":
         return _run_store_append_benchmark(scenario)
+    if scenario.kind == "sweep-overhead":
+        return _run_sweep_overhead_benchmark(scenario)
     jobs = scenario.jobs()
     canonical: List[str] = []
     total_events = 0

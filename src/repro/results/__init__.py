@@ -21,6 +21,14 @@ compatibility; new code should import from :mod:`repro.results`.
 
 from repro.metrics.summary import DistributionSummary, MetricsSummary
 from repro.results.cache import CACHE_SCHEMA_VERSION, ResultCache, spec_fingerprint
+from repro.results.failures import (
+    ATTEMPT_OUTCOMES,
+    FAILURE_SCHEMA_KEY,
+    FAILURE_SCHEMA_VERSION,
+    FailureValidationError,
+    JobAttempt,
+    JobFailure,
+)
 from repro.results.legacy import ScenarioResult, SweepResult
 from repro.results.record import (
     CANONICAL_SCHEMA_VERSION,
@@ -33,9 +41,15 @@ from repro.results.record import (
 from repro.results.store import RunStore, RunStoreError
 
 __all__ = [
+    "ATTEMPT_OUTCOMES",
     "CACHE_SCHEMA_VERSION",
     "CANONICAL_SCHEMA_VERSION",
     "DistributionSummary",
+    "FAILURE_SCHEMA_KEY",
+    "FAILURE_SCHEMA_VERSION",
+    "FailureValidationError",
+    "JobAttempt",
+    "JobFailure",
     "MetricsSummary",
     "RECORD_SCHEMA_KEY",
     "RESULTS_SCHEMA_VERSION",

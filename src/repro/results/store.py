@@ -9,7 +9,16 @@ A :class:`RunStore` owns one *run directory*::
       shards/records-0001.jsonl  # next shard once the previous one fills up
       shards/records-0000.jsonl.partial  # quarantined torn write tails
       raw/<key>-<keyhash>.json   # optional raw-metrics blobs, lazily loaded
+      failures.jsonl             # one JobFailure per quarantined job (sidecar)
       .lock                      # advisory lock file serialising appends
+
+**Failure sidecar.**  Jobs the supervised executor quarantines land in
+``failures.jsonl`` — one schema-versioned :class:`~repro.results.JobFailure`
+line each, appended under the same advisory lock as records.  Failures are
+deliberately *not* records: the shards, the fingerprint index and every
+canonical record byte stay untouched by fault bookkeeping, so pinned digests
+cannot move because a sweep had casualties.  ``repro report`` reads the
+sidecar to render its failure notice (and ``--strict`` exit).
 
 Records are appended as they complete (the executor streams them in), so an
 interrupted fleet leaves a readable prefix rather than nothing.  Shards are
@@ -72,6 +81,7 @@ try:  # pragma: no cover - fcntl is always present on the supported platforms
 except ImportError:  # pragma: no cover - Windows: appends fall back unlocked
     fcntl = None  # type: ignore[assignment]
 
+from repro.results.failures import FailureValidationError, JobFailure
 from repro.results.record import (
     RECORD_SCHEMA_KEY,
     RESULTS_SCHEMA_VERSION,
@@ -85,6 +95,7 @@ INDEX_NAME = "index.jsonl"
 LOCK_NAME = ".lock"
 SHARD_DIR = "shards"
 RAW_DIR = "raw"
+FAILURES_NAME = "failures.jsonl"
 
 #: Suffix of quarantine files holding torn write tails (partial lines left by
 #: a killed writer), next to the shard they were recovered from.
@@ -177,6 +188,10 @@ class RunStore:
     @property
     def index_path(self) -> Path:
         return self.root / INDEX_NAME
+
+    @property
+    def failures_path(self) -> Path:
+        return self.root / FAILURES_NAME
 
     def shard_path(self, index: int) -> Path:
         return self.shard_dir / f"records-{index:04d}.jsonl"
@@ -554,6 +569,49 @@ class RunStore:
                 record.spec_fingerprint, self._tail_shard, offset
             )
         return record
+
+    def append_failure(self, failure: JobFailure) -> JobFailure:
+        """Append a quarantined job's failure to the ``failures.jsonl`` sidecar.
+
+        Takes the same advisory lock as record appends (so fleet runs sharing
+        one ``--run-dir`` interleave whole lines), but touches neither the
+        shards nor the fingerprint index — failures are bookkeeping, not
+        results, and canonical record bytes must not move because of them.
+        Flush-but-no-fsync, like record appends: a kill mid-write leaves at
+        worst a torn final line, which reads skip.
+        """
+        with self._lock:
+            self.root.mkdir(parents=True, exist_ok=True)
+            with self.failures_path.open("a", encoding="utf-8") as handle:
+                handle.write(failure.to_json() + "\n")
+                handle.flush()
+        return failure
+
+    def failures(self) -> List[JobFailure]:
+        """Every quarantined-job failure recorded in this run directory.
+
+        Lock-free like every other read.  A newline-less final line (a writer
+        killed mid-append) is skipped; any other unparsable line is a loud
+        :class:`RunStoreError`.
+        """
+        path = self.failures_path
+        if not path.is_file():
+            return []
+        selected: List[JobFailure] = []
+        with path.open(encoding="utf-8") as handle:
+            for line_number, raw in enumerate(handle, start=1):
+                if not raw.endswith("\n"):
+                    break
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    selected.append(JobFailure.from_json(line))
+                except FailureValidationError as exc:
+                    raise RunStoreError(
+                        f"corrupt failure at {path}:{line_number}: {exc}"
+                    ) from exc
+        return selected
 
     # --------------------------------------------------------------- reads
 

@@ -1,0 +1,94 @@
+"""Tests for the deterministic chaos harness (spec parsing and semantics)."""
+
+import pytest
+
+from repro.experiments import ChaosError, ChaosInjection, ChaosSpec, ChaosSpecError
+
+
+class TestParse:
+    def test_basic_tokens(self):
+        spec = ChaosSpec.parse("0:raise,2:hang,4:kill")
+        assert [i.mode for i in spec.injections] == ["raise", "hang", "kill"]
+        assert [i.job_index for i in spec.injections] == [0, 2, 4]
+        assert all(i.attempt is None for i in spec.injections)
+
+    def test_attempt_pinned_token(self):
+        spec = ChaosSpec.parse("3:kill:1")
+        assert spec.injections == (
+            ChaosInjection(job_index=3, mode="kill", attempt=1),
+        )
+
+    def test_whitespace_and_case_tolerated(self):
+        spec = ChaosSpec.parse(" 1:RAISE , 2:Hang:2 ")
+        assert spec.injections[0].mode == "raise"
+        assert spec.injections[1] == ChaosInjection(2, "hang", 2)
+
+    @pytest.mark.parametrize(
+        "text, match",
+        [
+            ("", "empty chaos spec"),
+            (" , ", "empty chaos spec"),
+            ("1", "malformed chaos token"),
+            ("1:raise:2:9", "malformed chaos token"),
+            ("x:raise", "not an integer"),
+            ("1:raise:x", "not an integer"),
+            ("1:explode", "unknown chaos mode"),
+            ("-1:raise", "job index must be >= 0"),
+            ("1:raise:0", "attempt must be >= 1"),
+            ("1:raise,1:kill", "re-claims job 1"),
+        ],
+    )
+    def test_rejected_specs(self, text, match):
+        with pytest.raises(ChaosSpecError, match=match):
+            ChaosSpec.parse(text)
+
+    def test_same_job_distinct_attempts_allowed(self):
+        spec = ChaosSpec.parse("1:raise:1,1:raise:2,1:kill")
+        assert len(spec.injections) == 3
+
+
+class TestSemantics:
+    def test_persistent_matches_every_attempt(self):
+        spec = ChaosSpec.parse("5:raise")
+        assert spec.find(5, 1) is not None
+        assert spec.find(5, 7) is not None
+        assert spec.find(4, 1) is None
+
+    def test_pinned_matches_only_its_attempt(self):
+        spec = ChaosSpec.parse("5:kill:2")
+        assert spec.find(5, 1) is None
+        assert spec.find(5, 2).mode == "kill"
+        assert spec.find(5, 3) is None
+
+    def test_pinned_beats_persistent(self):
+        # "kill once, then raise forever": the attempt-pinned injection wins
+        # on its attempt even though the persistent one also matches.
+        spec = ChaosSpec.parse("3:kill:1,3:raise")
+        assert spec.find(3, 1).mode == "kill"
+        assert spec.find(3, 2).mode == "raise"
+
+    def test_needs_pool(self):
+        assert not ChaosSpec.parse("0:raise,1:raise:2").needs_pool()
+        assert ChaosSpec.parse("0:raise,1:hang").needs_pool()
+        assert ChaosSpec.parse("1:kill:1").needs_pool()
+
+    def test_apply_raise(self):
+        spec = ChaosSpec.parse("2:raise:1")
+        spec.apply(0, 1)  # no injection -> no-op
+        spec.apply(2, 2)  # wrong attempt -> no-op
+        with pytest.raises(ChaosError, match="job 2 attempt 1"):
+            spec.apply(2, 1)
+
+    def test_describe_round_trips(self):
+        text = "0:raise,2:hang:2,4:kill"
+        spec = ChaosSpec.parse(text)
+        assert spec.describe() == text
+        assert ChaosSpec.parse(spec.describe()) == spec
+
+    def test_injection_validation(self):
+        with pytest.raises(ChaosSpecError, match="unknown chaos mode"):
+            ChaosInjection(job_index=0, mode="explode")
+        with pytest.raises(ChaosSpecError, match="job index must be >= 0"):
+            ChaosInjection(job_index=-2, mode="raise")
+        with pytest.raises(ChaosSpecError, match="attempt must be >= 1"):
+            ChaosInjection(job_index=0, mode="raise", attempt=0)

@@ -441,3 +441,145 @@ class TestReportCommand:
         lines, out = capture
         assert main(["report", str(tmp_path)], out=out) == 2
         assert any("no records" in line for line in lines)
+
+
+class TestSweepFaultFlags:
+    @pytest.fixture
+    def tiny_scale(self, monkeypatch):
+        tiny = FigureScale(
+            node_counts=(9,),
+            radii_m=(10.0,),
+            fixed_num_nodes=9,
+            packets_per_node=1,
+            arrival_mean_interarrival_ms=5.0,
+        )
+        monkeypatch.setattr(figures, "bench_scale", lambda: tiny)
+
+    def test_malformed_chaos_spec_is_a_usage_error(self, capture):
+        lines, out = capture
+        assert main(["sweep", "fig06", "--chaos", "0:explode"], out=out) == 2
+        assert any("--chaos: unknown chaos mode" in line for line in lines)
+
+    def test_pool_only_chaos_needs_workers(self, capture):
+        lines, out = capture
+        assert main(["sweep", "fig06", "--chaos", "0:kill"], out=out) == 2
+        assert any("need --workers >= 2" in line for line in lines)
+
+    def test_job_timeout_needs_workers(self, capture):
+        lines, out = capture
+        assert main(["sweep", "fig06", "--job-timeout", "5"], out=out) == 2
+        assert any("--job-timeout needs --workers >= 2" in line for line in lines)
+
+    def test_job_timeout_must_be_positive(self, capture):
+        lines, out = capture
+        code = main(
+            ["sweep", "fig06", "--workers", "2", "--job-timeout", "0"], out=out
+        )
+        assert code == 2
+        assert any("must be positive" in line for line in lines)
+
+    def test_max_retries_must_be_nonnegative(self, capture):
+        lines, out = capture
+        assert main(["sweep", "fig06", "--max-retries", "-1"], out=out) == 2
+        assert any("--max-retries must be >= 0" in line for line in lines)
+
+    def test_quarantine_exits_partial_failure(self, capture, tiny_scale, tmp_path):
+        lines, out = capture
+        run_dir = tmp_path / "run"
+        code = main(
+            [
+                "sweep", "fig06", "--chaos", "0:raise", "--max-retries", "0",
+                "--run-dir", str(run_dir),
+            ],
+            out=out,
+        )
+        from repro.cli import EXIT_PARTIAL_FAILURE
+
+        assert code == EXIT_PARTIAL_FAILURE
+        text = "\n".join(lines)
+        assert "chaos: injecting 0:raise" in text
+        assert "[ fail] fig06/num_nodes=9/spms: quarantined" in text
+        assert "1 simulated, 0 from cache, 1 FAILED" in text
+        assert "failed: fig06/num_nodes=9/spms after 1 attempt(s)" in text
+        assert "ChaosError" in text
+        assert f"failure records appended to {run_dir / 'failures.jsonl'}" in text
+
+        from repro.results import RunStore
+
+        store = RunStore(run_dir)
+        failures = store.failures()
+        assert [f.key for f in failures] == ["fig06/num_nodes=9/spms"]
+        assert failures[0].last_outcome == "raised"
+        # The surviving job's record still landed in the store proper.
+        assert [r.key for r in store.records()] == ["fig06/num_nodes=9/spin"]
+
+    def test_transient_chaos_retries_and_exits_zero(self, capture, tiny_scale):
+        lines, out = capture
+        code = main(
+            ["sweep", "fig06", "--chaos", "0:raise:1", "--max-retries", "1"],
+            out=out,
+        )
+        assert code == 0
+        assert any("2 simulated, 0 from cache, 1 retried" in line for line in lines)
+
+
+class TestReportStrict:
+    def _chaos_run(self, capture, monkeypatch, tmp_path):
+        lines, out = capture
+        tiny = FigureScale(
+            node_counts=(9,),
+            radii_m=(10.0,),
+            fixed_num_nodes=9,
+            packets_per_node=1,
+            arrival_mean_interarrival_ms=5.0,
+        )
+        monkeypatch.setattr(figures, "bench_scale", lambda: tiny)
+        run_dir = tmp_path / "run"
+        main(
+            [
+                "sweep", "fig06", "--quiet", "--chaos", "0:raise",
+                "--max-retries", "0", "--run-dir", str(run_dir),
+            ],
+            out=out,
+        )
+        lines.clear()
+        return run_dir
+
+    def test_plain_report_notes_failures_but_exits_zero(
+        self, capture, monkeypatch, tmp_path
+    ):
+        lines, out = capture
+        run_dir = self._chaos_run(capture, monkeypatch, tmp_path)
+        assert main(["report", str(run_dir)], out=out) == 0
+        text = "\n".join(lines)
+        assert "1 record(s)" in text  # the survivor still renders
+        assert "1 job(s) FAILED in this run" in text
+        assert "fig06/num_nodes=9/spms: raised after 1 attempt(s)" in text
+
+    def test_strict_report_exits_partial_failure(self, capture, monkeypatch, tmp_path):
+        lines, out = capture
+        run_dir = self._chaos_run(capture, monkeypatch, tmp_path)
+        from repro.cli import EXIT_PARTIAL_FAILURE
+
+        assert main(["report", str(run_dir), "--strict"], out=out) == EXIT_PARTIAL_FAILURE
+        assert main(["report", str(run_dir), "--strict", "--json"], out=out) == (
+            EXIT_PARTIAL_FAILURE
+        )
+
+    def test_strict_without_failures_exits_zero(self, capture, monkeypatch, tmp_path):
+        lines, out = capture
+        tiny = FigureScale(
+            node_counts=(9,),
+            radii_m=(10.0,),
+            fixed_num_nodes=9,
+            packets_per_node=1,
+            arrival_mean_interarrival_ms=5.0,
+        )
+        monkeypatch.setattr(figures, "bench_scale", lambda: tiny)
+        run_dir = tmp_path / "run"
+        assert main(
+            ["sweep", "fig06", "--quiet", "--run-dir", str(run_dir)], out=out
+        ) == 0
+        lines.clear()
+        assert main(["report", str(run_dir), "--strict"], out=out) == 0
+        assert not any("FAILED" in line for line in lines)

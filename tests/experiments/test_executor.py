@@ -3,7 +3,10 @@
 import json
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
+import repro.experiments.executor as executor_module
+from repro.experiments.chaos import ChaosSpec
 from repro.experiments.config import SimulationConfig
 from repro.experiments.executor import (
     assemble_sweep,
@@ -239,3 +242,136 @@ class TestWorkerConfiguration:
         assert default_workers() == 4
         monkeypatch.setenv("REPRO_SWEEP_WORKERS", "garbage")
         assert default_workers() == 1
+
+    def test_unparseable_workers_warns_once(self, monkeypatch, capsys):
+        monkeypatch.setattr(executor_module, "_workers_warning_emitted", False)
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "four")
+        assert default_workers() == 1
+        err = capsys.readouterr().err
+        assert "REPRO_SWEEP_WORKERS='four' is not an integer" in err
+        assert "falling back to serial" in err
+        # The warning fires once per process, not once per sweep call.
+        assert default_workers() == 1
+        assert capsys.readouterr().err == ""
+
+    def test_parseable_workers_never_warn(self, monkeypatch, capsys):
+        monkeypatch.setattr(executor_module, "_workers_warning_emitted", False)
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "2")
+        assert default_workers() == 2
+        assert capsys.readouterr().err == ""
+
+
+class TestFaultTolerance:
+    def test_serial_rejects_job_timeout(self, small_matrix):
+        with pytest.raises(ValueError, match="job_timeout requires a worker pool"):
+            list(stream_jobs(small_matrix.expand(), workers=1, job_timeout=5.0))
+
+    def test_serial_rejects_pool_only_chaos(self, small_matrix):
+        chaos = ChaosSpec.parse("0:hang")
+        with pytest.raises(ValueError, match="hang/kill"):
+            list(stream_jobs(small_matrix.expand(), workers=1, chaos=chaos))
+
+    def test_serial_raise_chaos_is_fine(self, small_matrix):
+        # raise faults are in-process; no pool needed.
+        chaos = ChaosSpec.parse("0:raise:1")
+        completions = list(stream_jobs(small_matrix.expand(), chaos=chaos))
+        assert all(c.ok for c in completions)
+        assert completions[0].attempts == 2
+
+    def test_quarantined_jobs_surface_in_report_and_store(self, small_matrix, tmp_path):
+        store = RunStore(tmp_path / "run")
+        chaos = ChaosSpec.parse("0:raise")
+        jobs = small_matrix.expand()
+        records, report = execute_jobs(
+            jobs, chaos=chaos, max_attempts=2, store=store
+        )
+        assert set(records) == {jobs[1].key}
+        assert report.quarantined == 1
+        assert report.executed == 1
+        assert report.failed_attempts == 2
+        assert len(report.failures) == 1
+        assert report.failures[0].key == jobs[0].key
+        # The failure landed in the sidecar; the record store holds only the
+        # survivor.
+        assert [f.key for f in store.failures()] == [jobs[0].key]
+        assert [r.key for r in store.records()] == [jobs[1].key]
+
+    def test_progress_sees_quarantined_jobs_with_none_record(self, small_matrix):
+        seen = []
+        chaos = ChaosSpec.parse("1:raise")
+        execute_jobs(
+            small_matrix.expand(),
+            chaos=chaos,
+            max_attempts=1,
+            progress=lambda job, record, cached: seen.append((job.index, record)),
+        )
+        assert [(index, record is None) for index, record in seen] == [
+            (0, False), (1, True),
+        ]
+
+    def test_retried_success_counts_in_report(self, small_matrix):
+        chaos = ChaosSpec.parse("1:raise:1")
+        records, report = execute_jobs(small_matrix.expand(), chaos=chaos)
+        assert len(records) == 2
+        assert report.retried == 1
+        assert report.failed_attempts == 1
+        assert report.quarantined == 0
+
+    def test_keyboard_interrupt_returns_partial_report(self, small_matrix):
+        jobs = small_matrix.expand()
+        calls = []
+
+        def explode(job, record, cached):
+            calls.append(job.key)
+            if len(calls) == 1:
+                raise KeyboardInterrupt
+
+        records, report = execute_jobs(jobs, progress=explode)
+        assert report.interrupted
+        assert len(records) == 1
+        assert report.completed == 1
+        assert report.merged_summary is not None
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        positions=st.sets(st.integers(min_value=0, max_value=3), max_size=3),
+        parallel=st.booleans(),
+    )
+    def test_surviving_records_are_byte_identical(self, positions, parallel):
+        # THE tentpole invariant as a property: inject persistent raise
+        # faults at arbitrary grid positions, serial or parallel — every
+        # surviving record must match the fault-free run byte for byte.
+        jobs = matrix_from_axes(
+            "prop-test",
+            "num_nodes",
+            (9, 16, 25, 36),
+            protocols=("spms",),
+            base_config=SimulationConfig(
+                num_nodes=9,
+                packets_per_node=1,
+                transmission_radius_m=15.0,
+                grid_spacing_m=5.0,
+                seed=77,
+            ),
+        ).expand()
+        if not hasattr(self, "_baseline"):
+            clean, _ = execute_jobs(jobs)
+            type(self)._baseline = {
+                key: record.canonical_json() for key, record in clean.items()
+            }
+        chaos = (
+            ChaosSpec.parse(",".join(f"{i}:raise" for i in sorted(positions)))
+            if positions
+            else None
+        )
+        records, report = execute_jobs(
+            jobs,
+            workers=2 if parallel else 1,
+            chaos=chaos,
+            max_attempts=1,
+        )
+        assert report.quarantined == len(positions)
+        survivors = [job for job in jobs if job.index not in positions]
+        assert set(records) == {job.key for job in survivors}
+        for job in survivors:
+            assert records[job.key].canonical_json() == self._baseline[job.key]
